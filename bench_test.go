@@ -1,0 +1,274 @@
+package sqlts_test
+
+// Benchmarks regenerating the paper's evaluation, one benchmark family
+// per table/figure (see DESIGN.md's experiment index). Each benchmark
+// reports the paper's metric — predicate evaluations per run — via
+// b.ReportMetric alongside wall-clock numbers.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkDoubleBottom -benchtime=10x
+
+import (
+	"testing"
+
+	"sqlts"
+	"sqlts/internal/bench"
+	"sqlts/internal/constraint"
+	"sqlts/internal/core"
+	"sqlts/internal/engine"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+	"sqlts/internal/workload"
+	"sqlts/ta"
+)
+
+func priceRowsOf(prices []float64) []storage.Row {
+	out := make([]storage.Row, len(prices))
+	for i, p := range prices {
+		out[i] = storage.Row{storage.NewFloat(p)}
+	}
+	return out
+}
+
+func runExecutor(b *testing.B, ex engine.Executor, seq []storage.Row) {
+	b.Helper()
+	var evals int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := ex.FindAll(seq)
+		evals = stats.PredEvals
+	}
+	b.ReportMetric(float64(evals), "pred-evals")
+}
+
+// --- E1: §3.1 KMP text search --------------------------------------------------
+
+func BenchmarkKMPText(b *testing.B) {
+	text := workload.RandomText(1, 1_000_000, "abc")
+	pat := "abcabcacab"
+	b.Run("naive", func(b *testing.B) {
+		var cmps int64
+		for i := 0; i < b.N; i++ {
+			cmps = engine.NaiveStringSearch(pat, text, false).Comparisons
+		}
+		b.ReportMetric(float64(cmps), "comparisons")
+	})
+	b.Run("kmp", func(b *testing.B) {
+		var cmps int64
+		for i := 0; i < b.N; i++ {
+			cmps = engine.KMPSearch(pat, text, false).Comparisons
+		}
+		b.ReportMetric(float64(cmps), "comparisons")
+	})
+}
+
+// --- E2/E4: compile-time cost ----------------------------------------------------
+
+// BenchmarkCompile measures the full compile pipeline (parse → analyze →
+// GSW implication → matrices → shift/next) for the paper's queries; the
+// paper argues this cost is negligible (§6), which the numbers confirm.
+func BenchmarkCompile(b *testing.B) {
+	cases := []struct{ name, sql string }{
+		{"example1", `SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+			WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`},
+		{"example10", bench.DoubleBottomSQL},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := sqlts.New()
+			db.MustExec(`CREATE TABLE quote (name VARCHAR(8), date DATE, price REAL)`)
+			db.MustExec(`CREATE TABLE djia (date DATE, price REAL)`)
+			if err := db.DeclarePositive("djia", "price"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Prepare(c.sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3: Figure 5 ----------------------------------------------------------------
+
+func BenchmarkFig5(b *testing.B) {
+	seq := priceRowsOf([]float64{55, 50, 45, 57, 54, 50, 47, 49, 45, 42, 55, 57, 59, 60, 57})
+	p := bench.Example4Pattern()
+	t := core.Compute(p)
+	b.Run("naive", func(b *testing.B) {
+		runExecutor(b, engine.NewNaive(p, engine.SkipPastLastRow), seq)
+	})
+	b.Run("ops", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
+	})
+}
+
+// --- E5: §7 double bottom ----------------------------------------------------------
+
+func doubleBottomSeq(b *testing.B) []storage.Row {
+	b.Helper()
+	prices := workload.DJIA25Years(1)
+	for i := 0; i < 12; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/13)
+	}
+	return priceRowsOf(prices)
+}
+
+func BenchmarkDoubleBottom(b *testing.B) {
+	seq := doubleBottomSeq(b)
+	p := bench.DoubleBottomPattern()
+	t := core.Compute(p)
+	b.Run("naive", func(b *testing.B) {
+		runExecutor(b, engine.NewNaive(p, engine.SkipPastLastRow), seq)
+	})
+	b.Run("ops", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
+	})
+}
+
+// --- E6: complex-pattern sweep ------------------------------------------------------
+
+func BenchmarkComplexSweep(b *testing.B) {
+	for _, c := range bench.SweepCases(1, 20000) {
+		seq := priceRowsOf(c.Prices)
+		t := core.Compute(c.Pattern)
+		b.Run(c.Name+"/naive", func(b *testing.B) {
+			runExecutor(b, engine.NewNaive(c.Pattern, engine.SkipPastLastRow), seq)
+		})
+		b.Run(c.Name+"/ops", func(b *testing.B) {
+			runExecutor(b, engine.NewOPS(c.Pattern, t, engine.OPSConfig{}), seq)
+		})
+	}
+}
+
+// --- E8: forward vs reverse ----------------------------------------------------------
+
+func BenchmarkReverse(b *testing.B) {
+	p := bench.Example4Pattern()
+	rp, err := core.ReversePattern(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft, rt := core.Compute(p), core.Compute(rp)
+	prices := workload.GeometricWalk(workload.WalkConfig{Seed: 1, N: 50000, Start: 46, Drift: 0, Vol: 0.01})
+	seq := priceRowsOf(prices)
+	rseq := engine.ReverseRows(seq)
+	b.Run("forward", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, ft, engine.OPSConfig{Policy: engine.SkipToNextRow}), seq)
+	})
+	b.Run("reverse", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(rp, rt, engine.OPSConfig{Policy: engine.SkipToNextRow}), rseq)
+	})
+}
+
+// --- Ablations (DESIGN.md) -----------------------------------------------------------
+
+// BenchmarkAblationShiftOnly isolates the contribution of the next()
+// table: shift-only re-checks known-true prefixes.
+func BenchmarkAblationShiftOnly(b *testing.B) {
+	seq := doubleBottomSeq(b)
+	p := bench.DoubleBottomPattern()
+	t := core.Compute(p)
+	b.Run("full", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
+	})
+	b.Run("shift-only", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{ShiftOnly: true}), seq)
+	})
+}
+
+// BenchmarkAblationNoCounters isolates the §5 count[] rollback: without
+// it, star-pattern mismatches restart from scratch.
+func BenchmarkAblationNoCounters(b *testing.B) {
+	prices := workload.GeometricWalk(workload.WalkConfig{Seed: 3, N: 20000, Start: 100, Drift: 0, Vol: 0.004})
+	seq := priceRowsOf(prices)
+	schema := storage.MustSchema(storage.Column{Name: "price", Type: storage.TypeFloat})
+	pb := pattern.NewBuilder(schema)
+	pb.Star("A",
+		pb.CmpConst("price", pattern.Cur, constraint.Gt, 90),
+		pb.CmpConst("price", pattern.Cur, constraint.Lt, 110)).
+		Elem("B", pb.CmpConst("price", pattern.Cur, constraint.Ge, 110))
+	p := pb.MustBuild()
+	t := core.Compute(p)
+	b.Run("with-counters", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
+	})
+	b.Run("no-counters", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{NoCounters: true}), seq)
+	})
+}
+
+// BenchmarkStreaming measures the incremental matcher against batch OPS
+// on the double-bottom pattern: same work per tuple plus the push/prune
+// overhead and bounded memory.
+func BenchmarkStreaming(b *testing.B) {
+	seq := doubleBottomSeq(b)
+	p := bench.DoubleBottomPattern()
+	t := core.ComputeForStream(p)
+	b.Run("batch", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
+	})
+	b.Run("stream", func(b *testing.B) {
+		var evals int64
+		for i := 0; i < b.N; i++ {
+			s := engine.NewStreamer(p, engine.StreamConfig{}, func(engine.Match) {})
+			for _, row := range seq {
+				if err := s.Push(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Flush()
+			evals = s.Stats().PredEvals
+		}
+		b.ReportMetric(float64(evals), "pred-evals")
+	})
+}
+
+// BenchmarkTAPatterns measures the ta library's scans end to end through
+// the SQL pipeline.
+func BenchmarkTAPatterns(b *testing.B) {
+	prices := workload.GeometricWalk(workload.WalkConfig{Seed: 1, N: 25 * workload.TradingDaysPerYear, Start: 1000, Drift: 0.0003, Vol: 0.011})
+	db := sqlts.New()
+	db.RegisterTable(workload.SeriesTable("djia", 2557, prices))
+	if err := db.DeclarePositive("djia", "price"); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct{ name, sql string }{
+		{"double-bottom", ta.DoubleBottom("djia", 0.02)},
+		{"v-reversal", ta.VReversal("djia", 0.02)},
+	} {
+		q, err := db.Prepare(c.sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				res, err := q.RunWith(sqlts.RunOptions{Executor: sqlts.OPSSkipExec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = res.Stats.PredEvals
+			}
+			b.ReportMetric(float64(evals), "pred-evals")
+		})
+	}
+}
+
+// BenchmarkAblationNoImplication replaces the GSW-driven θ/φ matrices
+// with syntactic-identity-only matrices (KMP-style reasoning), showing
+// what the implication engine buys on predicate patterns.
+func BenchmarkAblationNoImplication(b *testing.B) {
+	seq := doubleBottomSeq(b)
+	p := bench.DoubleBottomPattern()
+	full := core.Compute(p)
+	syn := core.ComputeSyntactic(p)
+	b.Run("gsw", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, full, engine.OPSConfig{}), seq)
+	})
+	b.Run("syntactic", func(b *testing.B) {
+		runExecutor(b, engine.NewOPS(p, syn, engine.OPSConfig{}), seq)
+	})
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"sqlts"
+	"sqlts/internal/query"
+)
+
+// repl reads semicolon-terminated statements from in and executes them
+// against db, printing results to out. Meta-commands start with a
+// backslash:
+//
+//	\q            quit
+//	\tables       list tables
+//	\explain      toggle plan printing
+//	\exec NAME    switch executor (ops, naive, ops+skip, ...)
+//	\stats        toggle statistics printing
+func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, overlap bool) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var buf strings.Builder
+	explain := false
+	stats := false
+	fmt.Fprintln(out, `sqlts interactive shell — end statements with ';', \q to quit`)
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "sqlts> ")
+		} else {
+			fmt.Fprint(out, "  ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch {
+			case trimmed == `\q` || trimmed == `\quit`:
+				return nil
+			case trimmed == `\tables`:
+				for _, n := range db.TableNames() {
+					t := db.Table(n)
+					fmt.Fprintf(out, "%s %s (%d rows)\n", n, t.Schema, t.Len())
+				}
+			case trimmed == `\explain`:
+				explain = !explain
+				fmt.Fprintf(out, "explain: %v\n", explain)
+			case trimmed == `\stats`:
+				stats = !stats
+				fmt.Fprintf(out, "stats: %v\n", stats)
+			case strings.HasPrefix(trimmed, `\exec `):
+				k, err := parseExec(strings.TrimSpace(strings.TrimPrefix(trimmed, `\exec `)))
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					kind = k
+					fmt.Fprintf(out, "executor: %s\n", kind)
+				}
+			default:
+				fmt.Fprintf(out, "unknown command %q\n", trimmed)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		src := buf.String()
+		buf.Reset()
+		if err := execStatements(db, src, out, kind, overlap, explain, stats); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+// execStatements parses and runs a script fragment in the REPL.
+func execStatements(db *sqlts.DB, src string, out io.Writer, kind sqlts.ExecutorKind, overlap, explain, stats bool) error {
+	stmts, err := query.ParseScript(src)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *query.SelectStmt:
+			q, err := db.Prepare(query.Render(s))
+			if err != nil {
+				return err
+			}
+			if explain {
+				fmt.Fprintln(out, q.Explain())
+			}
+			res, err := q.RunWith(sqlts.RunOptions{Executor: kind, Overlap: overlap})
+			if err != nil {
+				return err
+			}
+			if err := res.Format(out); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+			if stats {
+				fmt.Fprintf(out, "executor=%s pred-evals=%d rollbacks=%d matches=%d\n",
+					kind, res.Stats.PredEvals, res.Stats.Rollbacks, res.Stats.Matches)
+			}
+		default:
+			if err := db.Exec(query.Render(st)); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "ok")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts"
+)
+
+func TestREPLSession(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader(`
+CREATE TABLE q (d DATE, p REAL);
+INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
+\tables
+\stats
+\exec naive
+SELECT A.p FROM q
+SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\exec bogus
+\unknowncmd
+SELECT nosuch FROM q;
+\q
+`)
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"q (d DATE, p REAL) (3 rows)", // \tables
+		"stats: true",
+		"executor: naive",
+		"(1 rows)",
+		"pred-evals=",             // stats line
+		"unknown executor",        // \exec bogus
+		"unknown command",         // \unknowncmd
+		"error:",                  // bad SELECT
+		"end statements with ';'", // banner
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestREPLMultilineStatement(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader("CREATE TABLE t\n(a INT)\n;\n\\q\n")
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("multiline CREATE failed:\n%s", out.String())
+	}
+	if db.Table("t") == nil {
+		t.Error("table not created")
+	}
+}
+
+func TestParseExecKinds(t *testing.T) {
+	for _, s := range []string{"ops", "naive", "ops+skip", "ops-skip", "ops-shift-only", "ops-no-counters", "auto", ""} {
+		if _, err := parseExec(s); err != nil {
+			t.Errorf("parseExec(%q): %v", s, err)
+		}
+	}
+	if _, err := parseExec("nope"); err == nil {
+		t.Error("bad executor accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Command tsgen emits synthetic time-series data as CSV for the sqlts
+// CLI and the examples: a DJIA-like geometric random walk (optionally
+// with planted double bottoms), a staircase market, or random text
+// series.
+//
+// Usage:
+//
+//	tsgen -kind djia  -n 6300 -seed 1 [-plant 12] > djia.csv
+//	tsgen -kind walk  -n 10000 -start 100 -drift 0 -vol 0.01 > walk.csv
+//	tsgen -kind stairs -n 10000 > stairs.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqlts/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "djia", "series kind: djia, walk, stairs")
+	n := flag.Int("n", 6300, "number of points")
+	seed := flag.Int64("seed", 1, "random seed")
+	start := flag.Float64("start", 1000, "initial price (walk/stairs)")
+	drift := flag.Float64("drift", 0.0003, "daily log-return drift (walk)")
+	vol := flag.Float64("vol", 0.011, "daily log-return volatility (walk)")
+	plant := flag.Int("plant", 0, "number of double bottoms to plant (djia/walk)")
+	startDay := flag.Int64("startday", 2557, "first date as days since 1970-01-01")
+	flag.Parse()
+
+	var prices []float64
+	switch *kind {
+	case "djia":
+		prices = workload.GeometricWalk(workload.WalkConfig{
+			Seed: *seed, N: *n, Start: 1000, Drift: 0.0003, Vol: 0.011,
+		})
+	case "walk":
+		prices = workload.GeometricWalk(workload.WalkConfig{
+			Seed: *seed, N: *n, Start: *start, Drift: *drift, Vol: *vol,
+		})
+	case "stairs":
+		prices = workload.StaircaseSeries(*seed, *n, *start, 0.01, 3, 30)
+	default:
+		fmt.Fprintf(os.Stderr, "tsgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	for i := 0; i < *plant; i++ {
+		at := 1 + (i+1)*len(prices)/(*plant+1)
+		workload.PlantDoubleBottom(prices, at)
+	}
+
+	t := workload.SeriesTable("series", *startDay, prices)
+	if err := t.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: the paper's Example 1 — find stocks that rose 15% or more
+// one day and fell 20% or more the next — on the quote table of Figure 1.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sqlts"
+)
+
+func main() {
+	db := sqlts.New()
+
+	// Declare the paper's quote table and a few days of data.
+	if err := db.Exec(`
+		CREATE TABLE quote (name VARCHAR(8), date DATE, price REAL);
+		INSERT INTO quote VALUES
+		  ('INTC', '1999-01-25', 60),
+		  ('INTC', '1999-01-26', 70.5),
+		  ('INTC', '1999-01-27', 55),
+		  ('INTC', '1999-01-28', 56),
+		  ('IBM',  '1999-01-25', 81),
+		  ('IBM',  '1999-01-26', 80.5),
+		  ('IBM',  '1999-01-27', 84),
+		  ('IBM',  '1999-01-28', 83)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 1: three consecutive tuples X, Y, Z per stock.
+	q, err := db.Prepare(`
+		SELECT X.name, Y.date AS spike_day, Y.price, Z.price AS after
+		FROM quote
+		  CLUSTER BY name
+		  SEQUENCE BY date
+		  AS (X, Y, Z)
+		WHERE Y.price > 1.15 * X.price
+		  AND Z.price < 0.80 * Y.price`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("compiled plan:")
+	fmt.Println(q.Explain())
+
+	res, err := q.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spike-and-crash stocks:")
+	if err := res.Format(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d predicate evaluations, %d matches\n", res.Stats.PredEvals, res.Stats.Matches)
+}

@@ -1,0 +1,80 @@
+// Streaming runs the double-bottom query as a continuous query: tuples
+// are pushed one "trading day" at a time and each double bottom is
+// reported the moment its pattern completes, with bounded memory — the
+// matcher retains only the window of the match attempt in progress.
+//
+//	go run ./examples/streaming [-n 5000] [-seed 3] [-plant 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sqlts"
+	"sqlts/internal/storage"
+	"sqlts/internal/workload"
+)
+
+const doubleBottom = `
+	SELECT X.next.date AS start_date, S.previous.date AS end_date,
+	       FIRST(Z).price AS first_bottom, FIRST(W).price AS second_bottom
+	FROM djia
+	  SEQUENCE BY date
+	  AS (X, *Y, *Z, *T, *U, *V, *W, *R, S)
+	WHERE X.price >= 0.98 * X.previous.price
+	  AND Y.price < 0.98 * Y.previous.price
+	  AND 0.98 * Z.previous.price < Z.price AND Z.price < 1.02 * Z.previous.price
+	  AND T.price > 1.02 * T.previous.price
+	  AND 0.98 * U.previous.price < U.price AND U.price < 1.02 * U.previous.price
+	  AND V.price < 0.98 * V.previous.price
+	  AND 0.98 * W.previous.price < W.price AND W.price < 1.02 * W.previous.price
+	  AND R.price > 1.02 * R.previous.price
+	  AND S.price <= 1.02 * S.previous.price`
+
+func main() {
+	n := flag.Int("n", 5000, "days to stream")
+	seed := flag.Int64("seed", 3, "random seed")
+	plant := flag.Int("plant", 6, "double bottoms to plant")
+	flag.Parse()
+
+	prices := workload.GeometricWalk(workload.WalkConfig{
+		Seed: *seed, N: *n, Start: 1000, Drift: 0.0003, Vol: 0.011,
+	})
+	for i := 0; i < *plant; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/(*plant+1))
+	}
+
+	db := sqlts.New()
+	db.MustExec(`CREATE TABLE djia (date DATE, price REAL)`)
+	if err := db.DeclarePositive("djia", "price"); err != nil {
+		log.Fatal(err)
+	}
+	q, err := db.Prepare(doubleBottom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	found := 0
+	stream, err := q.OpenStream(sqlts.StreamOptions{MaxBuffer: 4096}, func(row storage.Row) error {
+		found++
+		fmt.Printf("double bottom #%d: %s .. %s (bottoms %.1f / %.1f)\n",
+			found, row[0], row[1], row[2].Float(), row[3].Float())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, p := range prices {
+		if err := stream.Push(storage.NewDateDays(int64(2557+i)), storage.NewFloat(p)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := stream.Close(); err != nil {
+		log.Fatal(err)
+	}
+	stats := stream.Stats()
+	fmt.Printf("\nstreamed %d days: %d matches, %d predicate evaluations (%.2f per tuple)\n",
+		len(prices), stats.Matches, stats.PredEvals, float64(stats.PredEvals)/float64(len(prices)))
+}

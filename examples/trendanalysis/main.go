@@ -1,0 +1,110 @@
+// Trendanalysis runs the paper's analytical queries (Examples 2, 4 and 8)
+// over a multi-stock quote table, demonstrating CLUSTER BY, star
+// patterns, cross conditions, span accessors, and the §8 forward/reverse
+// direction heuristic.
+//
+//	go run ./examples/trendanalysis [-n 2000] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sqlts"
+	"sqlts/internal/core"
+	"sqlts/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "days per stock")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	// Three stocks with different characters: a calm index-like walk, a
+	// volatile walk, and a trending staircase.
+	series := map[string][]float64{
+		"IBM":  workload.GeometricWalk(workload.WalkConfig{Seed: *seed, N: *n, Start: 80, Drift: 0.0002, Vol: 0.012}),
+		"INTC": workload.GeometricWalk(workload.WalkConfig{Seed: *seed + 1, N: *n, Start: 60, Drift: 0.0004, Vol: 0.025}),
+		"ACME": workload.StaircaseSeries(*seed+2, *n, 40, 0.01, 4, 25),
+	}
+	db := sqlts.New()
+	db.RegisterTable(workload.QuoteTable("quote", 2557, series))
+	if err := db.DeclarePositive("quote", "price"); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, sql string) {
+		fmt.Printf("--- %s ---\n", title)
+		q, err := db.Prepare(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := q.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Rows) > 8 {
+			res.Rows = res.Rows[:8]
+			defer fmt.Println("(first 8 rows shown)")
+		}
+		if err := res.Format(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pred-evals=%d matches=%d\n\n", res.Stats.PredEvals, res.Stats.Matches)
+	}
+
+	// Example 2: maximal halving periods, with the star and a cross
+	// condition relating Z.previous to X.
+	run("Example 2: maximal periods where the price halved", `
+		SELECT X.name, X.date AS start_date, Z.previous.date AS end_date
+		FROM quote
+		  CLUSTER BY name
+		  SEQUENCE BY date
+		  AS (X, *Y, Z)
+		WHERE Y.price < Y.previous.price
+		  AND Z.previous.price < 0.5 * X.price`)
+
+	// Example 4-style: two drops then two rises, with range bounds.
+	run("Example 4: W-shape with range bounds", `
+		SELECT X.date AS start_date, X.price, U.date AS end_date, U.price
+		FROM quote
+		  CLUSTER BY name
+		  SEQUENCE BY date
+		  AS (X, Y, Z, T, U)
+		WHERE X.name = 'ACME'
+		  AND Y.price < X.price
+		  AND Z.price < Y.price
+		  AND 30 < Z.price AND Z.price < 45
+		  AND T.price > Z.price AND T.price < 47
+		  AND U.price > T.price`)
+
+	// Example 8: rising, falling, rising periods via three stars.
+	run("Example 8: rise / fall / rise periods", `
+		SELECT X.name, FIRST(X).date AS sdate, LAST(Z).date AS edate
+		FROM quote
+		  CLUSTER BY name
+		  SEQUENCE BY date
+		  AS (*X, *Y, *Z)
+		WHERE X.price > X.previous.price
+		  AND Y.price < Y.previous.price
+		  AND Z.price > Z.previous.price`)
+
+	// §8: direction choice for a star-free pattern.
+	q, err := db.Prepare(`
+		SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z, T)
+		WHERE Y.price < X.price AND Z.price < Y.price
+		  AND 30 < Z.price AND Z.price < 45
+		  AND T.price > Z.price`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, fwd, rev := core.ChooseDirection(q.Pattern())
+	fmt.Printf("--- §8 direction heuristic ---\n")
+	fmt.Printf("forward avg shift %.2f, avg next %.2f\n", fwd.AvgShift(), fwd.AvgNext())
+	if rev != nil {
+		fmt.Printf("reverse avg shift %.2f, avg next %.2f\n", rev.AvgShift(), rev.AvgNext())
+	}
+	fmt.Printf("heuristic chooses: %s search\n", dir)
+}

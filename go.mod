@@ -1,0 +1,3 @@
+module sqlts
+
+go 1.22

@@ -1,0 +1,72 @@
+package sqlts
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestExplainGolden snapshots the full compiled plans of the paper's
+// queries. Any change to the matrices, shift/next arrays or predicate
+// rendering shows up as a golden diff — a tripwire for optimizer
+// regressions beyond the entry-level assertions in internal/core.
+func TestExplainGolden(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE quote (name VARCHAR(8), date DATE, price REAL)`)
+	db.MustExec(`CREATE TABLE djia (date DATE, price REAL)`)
+	if err := db.DeclarePositive("quote", "price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeclarePositive("djia", "price"); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct{ name, sql string }{
+		{"example1", `
+			SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+			WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price`},
+		{"example4", `
+			SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z, T, U)
+			WHERE X.name = 'IBM'
+			  AND Y.price < X.price AND Z.price < Y.price
+			  AND 40 < Z.price AND Z.price < 50
+			  AND T.price > Z.price AND T.price < 52
+			  AND U.price > T.price`},
+		{"example8", `
+			SELECT X.name, FIRST(X).date, LAST(Z).date
+			FROM quote CLUSTER BY name SEQUENCE BY date AS (*X, *Y, *Z)
+			WHERE X.price > X.previous.price
+			  AND Y.price < Y.previous.price
+			  AND Z.price > Z.previous.price`},
+		{"example10", doubleBottomSQL},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := db.Prepare(c.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := q.Explain()
+			path := filepath.Join("testdata", "explain_"+c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("explain changed for %s:\n--- golden\n%s\n--- got\n%s", c.name, want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/core"
+	"sqlts/internal/engine"
+)
+
+func TestReportFormat(t *testing.T) {
+	r := &Report{
+		ID:     "T1",
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := r.Format()
+	for _, want := range []string{"== T1: test ==", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKMPTraceReport(t *testing.T) {
+	rep := KMPTrace(1, 2000)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "MISMATCH") {
+			t.Errorf("kmp/naive disagreement: %s", n)
+		}
+	}
+}
+
+func TestFigure5Report(t *testing.T) {
+	rep := Figure5()
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Paper facts: naive path is longer than the OPS path.
+	if rep.Rows[0][1] <= rep.Rows[1][1] && len(rep.Rows[0][1]) == len(rep.Rows[1][1]) {
+		t.Errorf("naive path %s should exceed ops path %s", rep.Rows[0][1], rep.Rows[1][1])
+	}
+}
+
+func TestMatricesReport(t *testing.T) {
+	rep := Matrices()
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	joined := strings.Join(rep.Notes, "\n")
+	for _, want := range []string{"example4 tables:", "example9 tables:", "theta ="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q", want)
+		}
+	}
+}
+
+func TestDoubleBottomExperimentSmall(t *testing.T) {
+	res, evals, err := RunDoubleBottom(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Days != 2*252 {
+		t.Errorf("days = %d", res.Days)
+	}
+	if res.Matches < 3 {
+		t.Errorf("matches = %d, want at least the 3 planted", res.Matches)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("speedup = %.2f, OPS should beat naive", res.Speedup)
+	}
+	// All four executors must have been measured.
+	for _, k := range []string{"naive", "ops", "ops-shift-only", "ops-no-counters"} {
+		if evals[k] <= 0 {
+			t.Errorf("no evals recorded for %s", k)
+		}
+	}
+	if evals["ops"] > evals["ops-shift-only"] {
+		t.Errorf("full OPS (%d) should not exceed shift-only (%d)", evals["ops"], evals["ops-shift-only"])
+	}
+}
+
+func TestSweepCasesAgree(t *testing.T) {
+	// Every sweep case must produce identical matches across executors
+	// (small n to keep the naive runs fast).
+	for _, c := range SweepCases(1, 1500) {
+		seq := priceRows(c.Prices...)
+		tables := core.Compute(c.Pattern)
+		nm, ns := engine.NewNaive(c.Pattern, engine.SkipPastLastRow).FindAll(seq)
+		om, os := engine.NewOPS(c.Pattern, tables, engine.OPSConfig{Policy: engine.SkipPastLastRow}).FindAll(seq)
+		if len(nm) != len(om) {
+			t.Errorf("%s: naive %d matches, ops %d", c.Name, len(nm), len(om))
+			continue
+		}
+		for i := range nm {
+			if nm[i].Start != om[i].Start || nm[i].End != om[i].End {
+				t.Errorf("%s: match %d differs", c.Name, i)
+				break
+			}
+		}
+		if os.PredEvals > ns.PredEvals {
+			t.Errorf("%s: ops (%d evals) worse than naive (%d)", c.Name, os.PredEvals, ns.PredEvals)
+		}
+	}
+}
+
+func TestReverseHeuristicReport(t *testing.T) {
+	rep := ReverseHeuristic(1, 2000)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[3] != "forward" && row[3] != "reverse" {
+			t.Errorf("chosen = %q", row[3])
+		}
+	}
+}
+
+func TestPaperPatternsCompile(t *testing.T) {
+	for _, p := range []interface{ Len() int }{
+		Example4Pattern(), Example4Mirrored(), Example9Pattern(), DoubleBottomPattern(),
+	} {
+		if p.Len() == 0 {
+			t.Error("empty pattern")
+		}
+	}
+	if Example9Pattern().Len() != 7 || DoubleBottomPattern().Len() != 9 {
+		t.Error("paper pattern lengths wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sqlts/internal/engine"
+)
+
+// Chart renders a price series as an ASCII chart with match intervals
+// overlaid as brackets below the plot — a terminal rendition of the
+// paper's Figure 7 ("doublebottoms found in the DJIA data are shown by
+// boxes"). The series is downsampled to the given width by taking bucket
+// means; height is the number of text rows for the price axis.
+func Chart(prices []float64, matches []engine.Match, width, height int) string {
+	if len(prices) == 0 || width < 10 || height < 3 {
+		return ""
+	}
+	if width > len(prices) {
+		width = len(prices)
+	}
+	// Bucket means.
+	buckets := make([]float64, width)
+	for b := range buckets {
+		lo := b * len(prices) / width
+		hi := (b + 1) * len(prices) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += prices[i]
+		}
+		buckets[b] = sum / float64(hi-lo)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range buckets {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		f := (v - minV) / (maxV - minV)
+		r := int(math.Round(f * float64(height-1)))
+		return height - 1 - r
+	}
+	prev := rowOf(buckets[0])
+	for b, v := range buckets {
+		r := rowOf(v)
+		grid[r][b] = '*'
+		// Connect vertical gaps for readability.
+		lo, hi := prev, r
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for rr := lo + 1; rr < hi; rr++ {
+			if grid[rr][b] == ' ' {
+				grid[rr][b] = '|'
+			}
+		}
+		prev = r
+	}
+
+	// Match overlay: one bracket row, stacking onto extra rows when
+	// intervals collide after downsampling.
+	var overlays [][]byte
+	place := func(lo, hi int) {
+		for _, row := range overlays {
+			free := true
+			for c := lo; c <= hi && c < width; c++ {
+				if row[c] != ' ' {
+					free = false
+					break
+				}
+			}
+			if free {
+				mark(row, lo, hi, width)
+				return
+			}
+		}
+		row := []byte(strings.Repeat(" ", width))
+		mark(row, lo, hi, width)
+		overlays = append(overlays, row)
+	}
+	for _, m := range matches {
+		lo := m.Start * width / len(prices)
+		hi := m.End * width / len(prices)
+		place(lo, hi)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.1f ┤\n", maxV)
+	for _, row := range grid {
+		b.WriteString("           │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.1f ┤%s\n", minV, strings.Repeat("─", width))
+	for _, row := range overlays {
+		b.WriteString("    matches ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "            0%sn=%d\n", strings.Repeat(" ", maxInt(1, width-8-len(fmt.Sprint(len(prices))))), len(prices))
+	return b.String()
+}
+
+func mark(row []byte, lo, hi, width int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= width {
+		hi = width - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for c := lo; c <= hi; c++ {
+		row[c] = '='
+	}
+	row[lo] = '['
+	row[hi] = ']'
+	if lo == hi {
+		row[lo] = '#'
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

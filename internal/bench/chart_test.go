@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/engine"
+)
+
+func TestChartBasics(t *testing.T) {
+	prices := make([]float64, 500)
+	for i := range prices {
+		prices[i] = 100 + float64(i%50)
+	}
+	matches := []engine.Match{
+		{Start: 50, End: 99},
+		{Start: 60, End: 120}, // overlaps the first → second overlay row
+		{Start: 400, End: 410},
+	}
+	out := Chart(prices, matches, 80, 10)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 1 top axis + 10 rows + 1 bottom axis + 2 overlay rows + 1 footer.
+	if len(lines) != 15 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	overlayRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "matches") {
+			overlayRows++
+			if !strings.ContainsAny(l, "[#") {
+				t.Errorf("overlay row lacks brackets: %q", l)
+			}
+		}
+	}
+	if overlayRows != 2 {
+		t.Errorf("overlay rows = %d, want 2 (overlapping intervals stack)", overlayRows)
+	}
+	if !strings.Contains(out, "n=500") {
+		t.Error("footer missing series length")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	if Chart(nil, nil, 80, 10) != "" {
+		t.Error("empty series should render nothing")
+	}
+	if Chart([]float64{1, 2}, nil, 5, 10) != "" {
+		t.Error("too-narrow chart should render nothing")
+	}
+	// Flat series must not divide by zero.
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 7
+	}
+	if out := Chart(flat, nil, 50, 5); !strings.Contains(out, "*") {
+		t.Error("flat series should still plot")
+	}
+	// Width larger than series length clamps.
+	if out := Chart([]float64{1, 2, 3, 2, 1, 2, 3, 2, 1, 2, 3, 4}, nil, 500, 5); out == "" {
+		t.Error("width clamp failed")
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlts/internal/engine"
+)
+
+// PathChart renders a search path as the paper's Figure 5 curves: the
+// pattern cursor j (y axis) against evaluation steps (x axis), with the
+// input cursor i printed underneath. Backtracking episodes appear as
+// drops in the j curve and non-monotonic stretches in the i row.
+func PathChart(path []engine.PathPoint) string {
+	if len(path) == 0 {
+		return ""
+	}
+	maxJ := 1
+	for _, pt := range path {
+		if pt.J > maxJ {
+			maxJ = pt.J
+		}
+	}
+	var b strings.Builder
+	for j := maxJ; j >= 1; j-- {
+		fmt.Fprintf(&b, "j=%2d │", j)
+		for _, pt := range path {
+			if pt.J == j {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "     └%s\n", strings.Repeat("─", len(path)))
+	// The input cursor, one digit column per step (mod 10 with a tens
+	// row when the input is long).
+	if maxI := path[len(path)-1].I; maxI >= 10 {
+		b.WriteString("  i/10")
+		for _, pt := range path {
+			b.WriteByte("0123456789"[(pt.I/10)%10])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  i%10")
+	for _, pt := range path {
+		b.WriteByte("0123456789"[pt.I%10])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

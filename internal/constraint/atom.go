@@ -1,0 +1,245 @@
+// Package constraint implements satisfiability and implication testing for
+// conjunctions of inequality atoms, following the GSW algorithm of Guo,
+// Sun & Weiss (IEEE TKDE 8(4), 1996) that the paper's Section 6 uses to
+// populate the θ and φ precondition matrices.
+//
+// Supported numeric atoms have the forms X op C, X op Y, and X op Y + C
+// with op ∈ {=, ≠, <, ≤, >, ≥}; they are decided exactly over the reals
+// via a difference-bound constraint graph with strict/non-strict edges.
+// String atoms are limited to (dis)equalities between variables and
+// literals and are decided with a union-find. Anything else can be added
+// as an opaque atom: opaque atoms never participate in arithmetic
+// reasoning, but syntactically identical (or complementary) opaque atoms
+// are still recognized, which is what makes the classic KMP behaviour a
+// special case of the OPS optimizer.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a variable. Callers allocate Vars densely from 0; the
+// pattern compiler assigns one Var per (tuple-role, field) pair plus one
+// per ratio variable introduced by the X op C*Y transform.
+type Var int
+
+// NoVar marks an absent right-hand-side variable (atom form X op C).
+const NoVar Var = -1
+
+// Op is a comparison operator.
+type Op uint8
+
+// The six comparison operators of the GSW atom language.
+const (
+	Eq Op = iota // =
+	Ne           // ≠
+	Lt           // <
+	Le           // ≤
+	Gt           // >
+	Ge           // ≥
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Negate returns the complement operator (¬(X op Y) ≡ X op' Y).
+func (o Op) Negate() Op {
+	switch o {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	default:
+		panic("constraint: negate of invalid op")
+	}
+}
+
+// Flip returns the operator with its operands swapped
+// (X op Y ≡ Y flip(op) X).
+func (o Op) Flip() Op {
+	switch o {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default: // Eq, Ne are symmetric
+		return o
+	}
+}
+
+// Atom is a numeric atom X op Y + C (or X op C when Y == NoVar).
+type Atom struct {
+	X  Var
+	Op Op
+	Y  Var
+	C  float64
+}
+
+// NewAtomVC builds the atom X op C.
+func NewAtomVC(x Var, op Op, c float64) Atom { return Atom{X: x, Op: op, Y: NoVar, C: c} }
+
+// NewAtomVV builds the atom X op Y.
+func NewAtomVV(x Var, op Op, y Var) Atom { return Atom{X: x, Op: op, Y: y} }
+
+// NewAtomVVC builds the atom X op Y + C.
+func NewAtomVVC(x Var, op Op, y Var, c float64) Atom { return Atom{X: x, Op: op, Y: y, C: c} }
+
+// Negate returns ¬a, which is again an atom.
+func (a Atom) Negate() Atom { a.Op = a.Op.Negate(); return a }
+
+// String renders the atom, e.g. "v2 <= v0 + 1.5".
+func (a Atom) String() string {
+	rhs := ""
+	switch {
+	case a.Y == NoVar:
+		rhs = trimFloat(a.C)
+	case a.C == 0:
+		rhs = fmt.Sprintf("v%d", a.Y)
+	default:
+		rhs = fmt.Sprintf("v%d + %s", a.Y, trimFloat(a.C))
+	}
+	return fmt.Sprintf("v%d %s %s", a.X, a.Op, rhs)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// StrAtom is a string atom: X op Y or X op "Lit", with op ∈ {=, ≠}.
+// Lit is used when Y == NoVar.
+type StrAtom struct {
+	X   Var
+	Op  Op // Eq or Ne only
+	Y   Var
+	Lit string
+}
+
+// NewStrAtomVL builds X op "lit".
+func NewStrAtomVL(x Var, op Op, lit string) StrAtom {
+	return StrAtom{X: x, Op: op, Y: NoVar, Lit: lit}
+}
+
+// NewStrAtomVV builds X op Y.
+func NewStrAtomVV(x Var, op Op, y Var) StrAtom { return StrAtom{X: x, Op: op, Y: y} }
+
+// Negate returns ¬a.
+func (a StrAtom) Negate() StrAtom { a.Op = a.Op.Negate(); return a }
+
+// String renders the atom, e.g. `v0 = "IBM"`.
+func (a StrAtom) String() string {
+	if a.Y == NoVar {
+		return fmt.Sprintf("v%d %s %q", a.X, a.Op, a.Lit)
+	}
+	return fmt.Sprintf("v%d %s v%d", a.X, a.Op, a.Y)
+}
+
+// OpaqueAtom is a predicate the engine cannot reason about arithmetically
+// (user-defined methods on images/text/XML — paper §4 item 3). Key must be
+// a canonical rendering: two opaque atoms with equal keys are the same
+// condition; equal keys with opposite Negated are complementary.
+type OpaqueAtom struct {
+	Key     string
+	Negated bool
+}
+
+// Negate returns ¬a.
+func (a OpaqueAtom) Negate() OpaqueAtom { a.Negated = !a.Negated; return a }
+
+// String renders the atom.
+func (a OpaqueAtom) String() string {
+	if a.Negated {
+		return "NOT " + a.Key
+	}
+	return a.Key
+}
+
+// System is a conjunction of atoms of the three kinds. The zero System is
+// the empty conjunction (TRUE).
+type System struct {
+	Num    []Atom
+	Str    []StrAtom
+	Opaque []OpaqueAtom
+}
+
+// AddNum appends numeric atoms.
+func (s *System) AddNum(atoms ...Atom) { s.Num = append(s.Num, atoms...) }
+
+// AddStr appends string atoms.
+func (s *System) AddStr(atoms ...StrAtom) { s.Str = append(s.Str, atoms...) }
+
+// AddOpaque appends opaque atoms.
+func (s *System) AddOpaque(atoms ...OpaqueAtom) { s.Opaque = append(s.Opaque, atoms...) }
+
+// Len returns the total number of atoms.
+func (s *System) Len() int { return len(s.Num) + len(s.Str) + len(s.Opaque) }
+
+// Clone returns a deep copy.
+func (s *System) Clone() *System {
+	return &System{
+		Num:    append([]Atom(nil), s.Num...),
+		Str:    append([]StrAtom(nil), s.Str...),
+		Opaque: append([]OpaqueAtom(nil), s.Opaque...),
+	}
+}
+
+// And returns the conjunction of systems.
+func And(systems ...*System) *System {
+	out := &System{}
+	for _, s := range systems {
+		out.Num = append(out.Num, s.Num...)
+		out.Str = append(out.Str, s.Str...)
+		out.Opaque = append(out.Opaque, s.Opaque...)
+	}
+	return out
+}
+
+// String renders the conjunction, atoms sorted for stable output.
+func (s *System) String() string {
+	if s.Len() == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, 0, s.Len())
+	for _, a := range s.Num {
+		parts = append(parts, a.String())
+	}
+	for _, a := range s.Str {
+		parts = append(parts, a.String())
+	}
+	for _, a := range s.Opaque {
+		parts = append(parts, a.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " AND ")
+}

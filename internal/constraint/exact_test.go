@@ -1,0 +1,45 @@
+package constraint
+
+import "testing"
+
+// TestExactArithmeticRegression pins the floating-point-closure bug found
+// by the core invariant fuzz: with a third variable in the system, the
+// Floyd-Warshall path 0→2→1 composes -7 + 6.1, which in float64 is
+// strictly less than -0.9 and manufactured a spurious tightening that
+// flipped both satisfiability and self-implication. Exact rational
+// bounds make every path compose to the same value.
+func TestExactArithmeticRegression(t *testing.T) {
+	s := &System{}
+	s.AddNum(NewAtomVC(1, Ne, 0.9))
+	s.AddNum(NewAtomVC(0, Eq, 7))
+	if !s.Implies(s) {
+		t.Fatal("system no longer implies itself (float drift)")
+	}
+
+	conj := s.Clone()
+	conj.AddNum(NewAtomVC(1, Eq, 0.9))
+	if conj.Satisfiable() {
+		t.Fatal("x != 0.9 AND x = 0.9 considered satisfiable (float drift)")
+	}
+
+	// A chain of decimal offsets: the implied X0 - X3 is exactly
+	// 3*rat(0.1), which is NOT the float64 value of 0.1+0.1+0.1 - the
+	// solver must neither conflate the two nor lose the loose bounds.
+	chain := &System{}
+	chain.AddNum(NewAtomVVC(0, Eq, 1, 0.1))
+	chain.AddNum(NewAtomVVC(1, Eq, 2, 0.1))
+	chain.AddNum(NewAtomVVC(2, Eq, 3, 0.1))
+	loose := &System{}
+	loose.AddNum(NewAtomVVC(0, Le, 3, 0.31))
+	loose.AddNum(NewAtomVVC(0, Ge, 3, 0.29))
+	if !chain.Implies(loose) {
+		t.Fatal("loose bounds around the exact sum not implied")
+	}
+	// float64(0.1+0.1+0.1) = 0.30000000000000004 != 3*rat(0.1): asserting
+	// exact equality with the float sum must fail.
+	floatSum := &System{}
+	floatSum.AddNum(NewAtomVVC(0, Eq, 3, 0.1+0.1+0.1))
+	if chain.Implies(floatSum) {
+		t.Fatal("float-summed constant wrongly equated with the exact rational sum")
+	}
+}

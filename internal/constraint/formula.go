@@ -1,0 +1,255 @@
+package constraint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Formula is a predicate in disjunctive normal form: a disjunction of
+// conjunctive Systems. It powers the paper's §8 extension to disjunctive
+// conditions ("we have also extended the OPS algorithm to optimize
+// patterns containing disjunctive conditions"): pattern elements whose
+// conditions contain OR compile to multi-disjunct formulas instead of
+// degrading to opaque atoms.
+//
+// A plain conjunction is the one-disjunct formula; TRUE is the
+// one-disjunct formula over the empty system; FALSE is the empty
+// disjunction. Decision procedures are sound and, where they must expand
+// products (DNF distribution, negations), capped: past the cap the
+// formula is marked inexact — a weakening — and every decision that
+// would need the exact predicate on the certifying side answers "don't
+// know", which the matrix computation maps to U. Conservative, never
+// wrong.
+type Formula struct {
+	Ds []*System
+	// inexact marks a formula that is weaker than the predicate it
+	// stands for (information was dropped at a cap). An inexact formula
+	// may serve as a premise (weakening the premise preserves
+	// soundness of p ⇒ q and of joint-unsatisfiability) but never as a
+	// certified conclusion.
+	inexact bool
+}
+
+// combosCap caps DNF distribution products and negation expansions
+// (¬(D₁ ∨ …) is a product over the disjuncts' atoms). Query conditions
+// are tiny, so real patterns never hit the cap.
+const combosCap = 512
+
+// True returns the TRUE formula.
+func True() *Formula { return &Formula{Ds: []*System{{}}} }
+
+// FromSystem wraps a conjunction as a one-disjunct formula.
+func FromSystem(s *System) *Formula { return &Formula{Ds: []*System{s}} }
+
+// OrF returns the disjunction of formulas (concatenated disjuncts).
+func OrF(fs ...*Formula) *Formula {
+	out := &Formula{}
+	for _, f := range fs {
+		out.Ds = append(out.Ds, f.Ds...)
+		out.inexact = out.inexact || f.inexact
+	}
+	return out
+}
+
+// AndF returns the conjunction of formulas by distributing into DNF.
+// Past the cap it degrades to an inexact TRUE (sound weakening).
+func AndF(fs ...*Formula) *Formula {
+	acc := True()
+	for _, f := range fs {
+		var next []*System
+		for _, a := range acc.Ds {
+			for _, b := range f.Ds {
+				next = append(next, And(a, b))
+				if len(next) > combosCap {
+					t := True()
+					t.inexact = true
+					return t
+				}
+			}
+		}
+		acc = &Formula{Ds: next, inexact: acc.inexact || f.inexact}
+	}
+	return acc
+}
+
+// Inexact reports whether information was dropped building the formula.
+func (f *Formula) Inexact() bool { return f.inexact }
+
+// Clone returns a deep copy.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{Ds: make([]*System, len(f.Ds)), inexact: f.inexact}
+	for i, d := range f.Ds {
+		out.Ds[i] = d.Clone()
+	}
+	return out
+}
+
+// Satisfiable reports whether any disjunct has a model. For inexact
+// formulas this may overestimate (the dropped constraints could have
+// made it unsatisfiable), which every caller tolerates: the optimizer
+// only uses certain *un*satisfiability, and that direction is sound.
+func (f *Formula) Satisfiable() bool {
+	for _, d := range f.Ds {
+		if d.Satisfiable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Implies reports p ⇒ q, soundly: every satisfiable disjunct of p must
+// imply some disjunct of q. An inexact premise is fine (weakening the
+// premise preserves the implication); an inexact conclusion can never be
+// certified. (Also incomplete by construction: a disjunct whose models
+// split across several q-disjuncts is not recognized; the optimizer then
+// sees U instead of 1.)
+func (p *Formula) Implies(q *Formula) bool {
+	if q.inexact {
+		return false
+	}
+	for _, d := range p.Ds {
+		if !d.Satisfiable() {
+			continue
+		}
+		ok := false
+		for _, e := range q.Ds {
+			if d.Implies(e) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Excludes reports p ⇒ ¬q: every (p-disjunct, q-disjunct) pair must be
+// jointly unsatisfiable. Sound even for inexact operands (both sides are
+// premises of a joint-unsatisfiability claim).
+func (p *Formula) Excludes(q *Formula) bool {
+	for _, d := range p.Ds {
+		for _, e := range q.Ds {
+			if !d.Excludes(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// negAtomChoices enumerates the DNF of ¬f: one negated atom chosen from
+// each disjunct. It invokes visit with each choice (a conjunction of
+// negated atoms); visit returning false stops early. The return value is
+// false iff the expansion exceeded the cap.
+func (f *Formula) negAtomChoices(visit func(*System) bool) bool {
+	total := 1
+	for _, d := range f.Ds {
+		n := d.Len()
+		if n == 0 {
+			// ¬TRUE = FALSE: no choices; ∀-properties hold vacuously.
+			return true
+		}
+		total *= n
+		if total > combosCap {
+			return false
+		}
+	}
+	choice := make([]int, len(f.Ds))
+	for {
+		sys := &System{}
+		for di, d := range f.Ds {
+			k := choice[di]
+			switch {
+			case k < len(d.Num):
+				sys.AddNum(d.Num[k].Negate())
+			case k < len(d.Num)+len(d.Str):
+				sys.AddStr(d.Str[k-len(d.Num)].Negate())
+			default:
+				sys.AddOpaque(d.Opaque[k-len(d.Num)-len(d.Str)].Negate())
+			}
+		}
+		if !visit(sys) {
+			return true
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < f.Ds[i].Len() {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return true
+		}
+	}
+}
+
+// NegImplies reports ¬p ⇒ q, i.e. ¬p ∧ ¬q is unsatisfiable: every
+// combination of one negated atom per disjunct of p and of q must be
+// jointly unsatisfiable. Inexact operands (on either side — the premise
+// here is a *negation*, so weakening p strengthens ¬p) and cap overflow
+// answer false (→ U).
+func (p *Formula) NegImplies(q *Formula) bool {
+	if p.inexact || q.inexact {
+		return false
+	}
+	ok := true
+	complete := p.negAtomChoices(func(np *System) bool {
+		completeQ := q.negAtomChoices(func(nq *System) bool {
+			if And(np, nq).Satisfiable() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !completeQ {
+			ok = false
+			return false
+		}
+		return ok
+	})
+	return ok && complete
+}
+
+// Tautology reports whether the formula is valid: ¬p unsatisfiable.
+// Inexact formulas are never certified valid.
+func (p *Formula) Tautology() bool {
+	if p.inexact {
+		return false
+	}
+	ok := true
+	complete := p.negAtomChoices(func(np *System) bool {
+		if np.Satisfiable() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok && complete
+}
+
+// String renders the DNF with disjuncts sorted for stable output.
+func (f *Formula) String() string {
+	if len(f.Ds) == 0 {
+		return "FALSE"
+	}
+	var s string
+	if len(f.Ds) == 1 {
+		s = f.Ds[0].String()
+	} else {
+		parts := make([]string, len(f.Ds))
+		for i, d := range f.Ds {
+			parts[i] = "(" + d.String() + ")"
+		}
+		sort.Strings(parts)
+		s = strings.Join(parts, " OR ")
+	}
+	if f.inexact {
+		s += " [inexact]"
+	}
+	return s
+}

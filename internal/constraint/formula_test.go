@@ -1,0 +1,221 @@
+package constraint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func fOf(systems ...*System) *Formula { return &Formula{Ds: systems} }
+
+func TestFormulaBasics(t *testing.T) {
+	if !True().Satisfiable() || !True().Tautology() {
+		t.Error("TRUE should be satisfiable and valid")
+	}
+	f := &Formula{} // empty disjunction = FALSE
+	if f.Satisfiable() || f.Tautology() {
+		t.Error("FALSE should be neither satisfiable nor valid")
+	}
+	if f.String() != "FALSE" {
+		t.Errorf("String = %q", f.String())
+	}
+	x := sysN(NewAtomVC(vCur, Lt, 10))
+	if FromSystem(x).String() != x.String() {
+		t.Error("single-disjunct String should match System")
+	}
+}
+
+func TestFormulaSatisfiable(t *testing.T) {
+	unsat := sysN(NewAtomVC(vCur, Lt, 0), NewAtomVC(vCur, Gt, 0))
+	sat := sysN(NewAtomVC(vCur, Lt, 0))
+	if fOf(unsat).Satisfiable() {
+		t.Error("single unsat disjunct")
+	}
+	if !fOf(unsat, sat).Satisfiable() {
+		t.Error("one sat disjunct suffices")
+	}
+}
+
+func TestFormulaImplies(t *testing.T) {
+	lo := FromSystem(sysN(NewAtomVC(vCur, Lt, 10)))
+	hi := FromSystem(sysN(NewAtomVC(vCur, Gt, 90)))
+	band := FromSystem(sysN(NewAtomVC(vCur, Ge, 10), NewAtomVC(vCur, Le, 90)))
+	tails := OrF(lo, hi)
+	tailsTight := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 5))),
+		FromSystem(sysN(NewAtomVC(vCur, Gt, 95))),
+	)
+	if !tailsTight.Implies(tails) {
+		t.Error("tighter tails should imply looser tails")
+	}
+	if tails.Implies(tailsTight) {
+		t.Error("looser tails should not imply tighter")
+	}
+	if !tails.Excludes(band) || !band.Excludes(tails) {
+		t.Error("tails and band should be mutually exclusive")
+	}
+	if tails.Implies(lo) {
+		t.Error("tails should not imply only the low tail")
+	}
+	if !lo.Implies(tails) {
+		t.Error("low tail should imply tails")
+	}
+}
+
+func TestFormulaNegImplies(t *testing.T) {
+	// ¬(x < 10 ∨ x > 90) = 10 ≤ x ≤ 90, which implies x ≥ 5.
+	tails := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 10))),
+		FromSystem(sysN(NewAtomVC(vCur, Gt, 90))),
+	)
+	ge5 := FromSystem(sysN(NewAtomVC(vCur, Ge, 5)))
+	if !tails.NegImplies(ge5) {
+		t.Error("¬tails should imply x >= 5")
+	}
+	ge20 := FromSystem(sysN(NewAtomVC(vCur, Ge, 20)))
+	if tails.NegImplies(ge20) {
+		t.Error("¬tails should not imply x >= 20")
+	}
+	// ¬(x<10) = x≥10 implies (x>5 OR x<0).
+	single := FromSystem(sysN(NewAtomVC(vCur, Lt, 10)))
+	disj := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Gt, 5))),
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 0))),
+	)
+	if !single.NegImplies(disj) {
+		t.Error("x >= 10 should imply (x > 5 OR x < 0)")
+	}
+}
+
+func TestFormulaTautology(t *testing.T) {
+	// x < 10 OR x >= 10 is valid.
+	f := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 10))),
+		FromSystem(sysN(NewAtomVC(vCur, Ge, 10))),
+	)
+	if !f.Tautology() {
+		t.Error("complementary disjunction should be a tautology")
+	}
+	// x < 10 OR x > 10 misses the point x = 10.
+	g := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 10))),
+		FromSystem(sysN(NewAtomVC(vCur, Gt, 10))),
+	)
+	if g.Tautology() {
+		t.Error("disjunction with a gap is not a tautology")
+	}
+}
+
+func TestFormulaAndDistribution(t *testing.T) {
+	tails := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 10))),
+		FromSystem(sysN(NewAtomVC(vCur, Gt, 90))),
+	)
+	pos := FromSystem(sysN(NewAtomVC(vCur, Gt, 0)))
+	f := AndF(tails, pos)
+	if len(f.Ds) != 2 {
+		t.Fatalf("distribution should give 2 disjuncts, got %d", len(f.Ds))
+	}
+	// (0 < x < 10) OR (x > 90): excludes the band 20..80.
+	band := FromSystem(sysN(NewAtomVC(vCur, Ge, 20), NewAtomVC(vCur, Le, 80)))
+	if !f.Excludes(band) {
+		t.Error("conjunction result wrong")
+	}
+}
+
+func TestFormulaInexactSafety(t *testing.T) {
+	// Force the cap: AndF of many multi-disjunct formulas.
+	two := OrF(
+		FromSystem(sysN(NewAtomVC(vCur, Lt, 1))),
+		FromSystem(sysN(NewAtomVC(vCur, Gt, 2))),
+	)
+	parts := make([]*Formula, 12) // 2^12 = 4096 > cap
+	for i := range parts {
+		parts[i] = two
+	}
+	f := AndF(parts...)
+	if !f.Inexact() {
+		t.Fatal("cap overflow should mark the formula inexact")
+	}
+	if !strings.Contains(f.String(), "inexact") {
+		t.Error("String should flag inexactness")
+	}
+	anything := FromSystem(sysN(NewAtomVC(vCur, Lt, 100)))
+	// An inexact conclusion can never be certified.
+	if anything.Implies(f) {
+		t.Error("implication into an inexact formula certified")
+	}
+	if anything.NegImplies(f) || f.NegImplies(anything) {
+		t.Error("NegImplies with inexact operand certified")
+	}
+	if f.Tautology() {
+		t.Error("inexact formula certified as tautology")
+	}
+	// As a premise of Implies, inexact is allowed (weaker premise).
+	if !f.Implies(True()) {
+		t.Error("anything implies TRUE")
+	}
+}
+
+// evalFormula evaluates a formula at a numeric assignment (numeric atoms
+// only; used by the grid property test).
+func evalFormula(f *Formula, env [3]float64) bool {
+	for _, d := range f.Ds {
+		if evalSys(d, env) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFormulaSoundnessAgainstGrid mirrors the System grid test for DNF:
+// claimed implications, exclusions, neg-implications and tautologies must
+// hold at every sampled assignment.
+func TestFormulaSoundnessAgainstGrid(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	grid := []float64{-3, -2, -1, -0.5, 0, 0.5, 1, 2, 3}
+	randFormula := func() *Formula {
+		nd := 1 + r.Intn(3)
+		f := &Formula{}
+		for i := 0; i < nd; i++ {
+			var s System
+			for k := 0; k < 1+r.Intn(2); k++ {
+				s.AddNum(randomAtom(r))
+			}
+			f.Ds = append(f.Ds, &s)
+		}
+		return f
+	}
+	for trial := 0; trial < 400; trial++ {
+		p, q := randFormula(), randFormula()
+		imp := p.Implies(q)
+		exc := p.Excludes(q)
+		neg := p.NegImplies(q)
+		taut := p.Tautology()
+		sat := p.Satisfiable()
+		for _, a := range grid {
+			for _, b := range grid {
+				for _, c := range grid {
+					env := [3]float64{a, b, c}
+					pv := evalFormula(p, env)
+					qv := evalFormula(q, env)
+					if pv && !sat {
+						t.Fatalf("trial %d: unsat but satisfied: %s at %v", trial, p, env)
+					}
+					if imp && pv && !qv {
+						t.Fatalf("trial %d: %s implies %s refuted at %v", trial, p, q, env)
+					}
+					if exc && pv && qv {
+						t.Fatalf("trial %d: %s excludes %s refuted at %v", trial, p, q, env)
+					}
+					if neg && !pv && !qv {
+						t.Fatalf("trial %d: ¬(%s) implies %s refuted at %v", trial, p, q, env)
+					}
+					if taut && !pv {
+						t.Fatalf("trial %d: tautology %s refuted at %v", trial, p, env)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Negate and Flip are involutions on every valid operator, and
+// Negate never fixes an operator.
+func TestQuickOpInvolutions(t *testing.T) {
+	f := func(raw uint8) bool {
+		op := Op(raw % 6)
+		if op.Negate().Negate() != op || op.Flip().Flip() != op {
+			return false
+		}
+		return op.Negate() != op
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an atom and its negation are complementary on every sampled
+// assignment.
+func TestQuickAtomNegationComplementary(t *testing.T) {
+	f := func(raw uint8, xi, yi uint8, c int8) bool {
+		op := Op(raw % 6)
+		a := NewAtomVVC(Var(xi%3), op, Var(yi%3), float64(c)/4)
+		env := [3]float64{float64(int8(xi)) / 3, float64(int8(yi)) / 5, float64(c) / 7}
+		return evalAtom(a, env) != evalAtom(a.Negate(), env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Implies is reflexive and transitive on random satisfiable
+// systems; Excludes is symmetric.
+func TestQuickSystemRelations(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 400; trial++ {
+		mk := func() *System {
+			s := &System{}
+			for i := 0; i < 1+r.Intn(3); i++ {
+				s.AddNum(randomAtom(r))
+			}
+			return s
+		}
+		a, b, c := mk(), mk(), mk()
+		if !a.Implies(a) {
+			t.Fatalf("reflexivity: %s", a)
+		}
+		if a.Implies(b) && b.Implies(c) && !a.Implies(c) {
+			t.Fatalf("transitivity: %s ⇒ %s ⇒ %s", a, b, c)
+		}
+		if a.Excludes(b) != b.Excludes(a) {
+			t.Fatalf("exclusion symmetry: %s vs %s", a, b)
+		}
+		// Implication is antitone in the premise: strengthening a cannot
+		// lose conclusions.
+		ab := And(a, b)
+		if a.Implies(c) && !ab.Implies(c) {
+			t.Fatalf("monotonicity: %s ⇒ %s but %s does not", a, c, ab)
+		}
+	}
+}
+
+// Property: And is commutative for satisfiability and implication
+// answers.
+func TestQuickAndCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 300; trial++ {
+		var a, b System
+		for i := 0; i < 1+r.Intn(2); i++ {
+			a.AddNum(randomAtom(r))
+			b.AddNum(randomAtom(r))
+		}
+		if And(&a, &b).Satisfiable() != And(&b, &a).Satisfiable() {
+			t.Fatalf("And not commutative for sat: %s / %s", a.String(), b.String())
+		}
+	}
+}

@@ -1,0 +1,538 @@
+package constraint
+
+import (
+	"math"
+	"math/big"
+)
+
+// The numeric solver computes with exact rational arithmetic
+// (math/big.Rat). Floating-point bound composition in the Floyd-Warshall
+// closure is unsound: rounding along different paths can manufacture
+// spurious strict tightenings (e.g. -7 + 6.1 < -0.9 in float64), flipping
+// satisfiability and equality-detection answers. Every float64 constant
+// is exactly representable as a rational, and the closure runs at query
+// compile time over a handful of variables, so exactness costs nothing
+// that matters.
+
+// ratOf converts a float constant exactly.
+func ratOf(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+
+// bound is an upper bound on a variable difference: X - Y ≤ c (strict ⇒ <).
+// inf means "no bound".
+type bound struct {
+	c      *big.Rat
+	strict bool
+	inf    bool
+}
+
+var noBound = bound{inf: true}
+
+func boundOf(c float64, strict bool) bound {
+	return bound{c: ratOf(c), strict: strict}
+}
+
+func zeroBound() bound { return bound{c: new(big.Rat)} }
+
+// tighterThan reports whether b is strictly tighter than o.
+func (b bound) tighterThan(o bound) bool {
+	if b.inf {
+		return false
+	}
+	if o.inf {
+		return true
+	}
+	if cmp := b.c.Cmp(o.c); cmp != 0 {
+		return cmp < 0
+	}
+	return b.strict && !o.strict
+}
+
+// plus composes bounds along a path: (X-Y ≤ a) ∧ (Y-Z ≤ b) ⇒ X-Z ≤ a+b,
+// strict if either is strict.
+func (b bound) plus(o bound) bound {
+	if b.inf || o.inf {
+		return noBound
+	}
+	return bound{c: new(big.Rat).Add(b.c, o.c), strict: b.strict || o.strict}
+}
+
+// numSolver holds the transitive closure of a difference-bound system over
+// a dense set of local variable indices. Index 0 is the implicit "zero"
+// variable used to encode constants: X op C becomes X op zero + C.
+type numSolver struct {
+	n     int
+	bnd   []bound // n*n, row-major: bnd[i*n+j] bounds Xi - Xj
+	remap map[Var]int
+	neq   []neqCon // disequalities Xi ≠ Xj + c
+	atoms []Atom   // the original system, for conjoin-and-recheck tests
+	unsat bool
+}
+
+type neqCon struct {
+	i, j int
+	c    *big.Rat
+}
+
+const zeroIdx = 0
+
+func newNumSolver(atoms []Atom) *numSolver {
+	s := &numSolver{remap: make(map[Var]int), atoms: atoms}
+	s.n = 1 // the zero variable
+	local := func(v Var) int {
+		if i, ok := s.remap[v]; ok {
+			return i
+		}
+		i := s.n
+		s.remap[v] = i
+		s.n++
+		return i
+	}
+	// First pass: allocate indices.
+	for _, a := range atoms {
+		local(a.X)
+		if a.Y != NoVar {
+			local(a.Y)
+		}
+	}
+	s.bnd = make([]bound, s.n*s.n)
+	for i := range s.bnd {
+		s.bnd[i] = noBound
+	}
+	for i := 0; i < s.n; i++ {
+		s.bnd[i*s.n+i] = zeroBound()
+	}
+	for _, a := range atoms {
+		x := s.remap[a.X]
+		y := zeroIdx
+		if a.Y != NoVar {
+			y = s.remap[a.Y]
+		}
+		s.addAtom(x, y, a.Op, a.C)
+	}
+	s.close()
+	return s
+}
+
+// addAtom records X op Y + c as difference bounds.
+func (s *numSolver) addAtom(x, y int, op Op, c float64) {
+	switch op {
+	case Le:
+		s.tighten(x, y, boundOf(c, false))
+	case Lt:
+		s.tighten(x, y, boundOf(c, true))
+	case Ge:
+		s.tighten(y, x, boundOf(-c, false))
+	case Gt:
+		s.tighten(y, x, boundOf(-c, true))
+	case Eq:
+		s.tighten(x, y, boundOf(c, false))
+		s.tighten(y, x, boundOf(-c, false))
+	case Ne:
+		s.neq = append(s.neq, neqCon{i: x, j: y, c: ratOf(c)})
+	}
+}
+
+func (s *numSolver) tighten(i, j int, b bound) {
+	if b.tighterThan(s.bnd[i*s.n+j]) {
+		s.bnd[i*s.n+j] = b
+	}
+}
+
+// close computes the all-pairs tightest bounds (Floyd–Warshall) and the
+// satisfiability flag. Variable counts in real queries are tiny (one per
+// tuple field role), so O(n³) is fine and exact.
+func (s *numSolver) close() {
+	n := s.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := s.bnd[i*n+k]
+			if ik.inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if via := ik.plus(s.bnd[k*n+j]); via.tighterThan(s.bnd[i*n+j]) {
+					s.bnd[i*n+j] = via
+				}
+			}
+		}
+	}
+	// Negative (or zero-but-strict) self-cycle ⇒ unsatisfiable.
+	for i := 0; i < n; i++ {
+		d := s.bnd[i*n+i]
+		if !d.inf && (d.c.Sign() < 0 || (d.c.Sign() == 0 && d.strict)) {
+			s.unsat = true
+			return
+		}
+	}
+	// Over the reals, a satisfiable convex system conjoined with
+	// disequalities is unsatisfiable iff some disequality Xi ≠ Xj + c is
+	// contradicted by a forced equality Xi - Xj = c.
+	for _, ne := range s.neq {
+		if s.forcedEqual(ne.i, ne.j, ne.c) {
+			s.unsat = true
+			return
+		}
+	}
+}
+
+// forcedEqual reports whether the closure forces Xi - Xj = c exactly.
+func (s *numSolver) forcedEqual(i, j int, c *big.Rat) bool {
+	up := s.bnd[i*s.n+j] // Xi - Xj ≤ up
+	lo := s.bnd[j*s.n+i] // Xj - Xi ≤ lo, i.e. Xi - Xj ≥ -lo
+	if up.inf || lo.inf || up.strict || lo.strict {
+		return false
+	}
+	negC := new(big.Rat).Neg(c)
+	return up.c.Cmp(c) == 0 && lo.c.Cmp(negC) == 0
+}
+
+// satisfiable reports whether the system has a real solution.
+func (s *numSolver) satisfiable() bool { return !s.unsat }
+
+// diff returns the tightest upper bound on Xa - Xb known to the system;
+// variables not mentioned by the system are unconstrained.
+func (s *numSolver) diff(a, b Var) bound {
+	if a == b {
+		return zeroBound()
+	}
+	var x, y int
+	var ok bool
+	if a == NoVar {
+		x = zeroIdx
+	} else if x, ok = s.remap[a]; !ok {
+		return noBound
+	}
+	if b == NoVar {
+		y = zeroIdx
+	} else if y, ok = s.remap[b]; !ok {
+		return noBound
+	}
+	if x == y {
+		return zeroBound()
+	}
+	return s.bnd[x*s.n+y]
+}
+
+// impliesAtom reports whether the (satisfiable) system entails atom a.
+func (s *numSolver) impliesAtom(a Atom) bool {
+	if s.unsat {
+		return true
+	}
+	up := s.diff(a.X, a.Y) // X - Y ≤ up
+	lo := s.diff(a.Y, a.X) // Y - X ≤ lo  ⇒  X - Y ≥ -lo
+	c := ratOf(a.C)
+	negC := new(big.Rat).Neg(c)
+	switch a.Op {
+	case Le: // need X - Y ≤ c entailed
+		return !up.inf && up.c.Cmp(c) <= 0
+	case Lt:
+		return !up.inf && (up.c.Cmp(c) < 0 || (up.c.Cmp(c) == 0 && up.strict))
+	case Ge: // need X - Y ≥ c, i.e. Y - X ≤ -c
+		return !lo.inf && lo.c.Cmp(negC) <= 0
+	case Gt:
+		return !lo.inf && (lo.c.Cmp(negC) < 0 || (lo.c.Cmp(negC) == 0 && lo.strict))
+	case Eq:
+		return !up.inf && !lo.inf && !up.strict && !lo.strict && up.c.Cmp(c) == 0 && lo.c.Cmp(negC) == 0
+	case Ne:
+		// Entailed iff conjoining the complementary equality is
+		// unsatisfiable. This also catches entailment through recorded
+		// disequalities, e.g. {X ≠ Y} ⇒ X ≠ Y.
+		conj := make([]Atom, len(s.atoms), len(s.atoms)+1)
+		copy(conj, s.atoms)
+		conj = append(conj, Atom{X: a.X, Op: Eq, Y: a.Y, C: a.C})
+		return !newNumSolver(conj).satisfiable()
+	default:
+		return false
+	}
+}
+
+// --- string (dis)equality solver -----------------------------------------
+
+// strSolver decides conjunctions of string (dis)equalities with a
+// union-find over variables and literal nodes. The string domain is
+// infinite, so the system is satisfiable iff no class contains two
+// distinct literals and no disequality joins one class.
+type strSolver struct {
+	parent map[strNode]strNode
+	neq    [][2]strNode
+	unsat  bool
+}
+
+type strNode struct {
+	v   Var    // valid when lit == false
+	lit bool   // literal node?
+	s   string // literal text
+}
+
+func nodeOfVar(v Var) strNode    { return strNode{v: v} }
+func nodeOfLit(s string) strNode { return strNode{lit: true, s: s} }
+
+func newStrSolver(atoms []StrAtom) *strSolver {
+	s := &strSolver{parent: make(map[strNode]strNode)}
+	for _, a := range atoms {
+		x := nodeOfVar(a.X)
+		var y strNode
+		if a.Y == NoVar {
+			y = nodeOfLit(a.Lit)
+		} else {
+			y = nodeOfVar(a.Y)
+		}
+		switch a.Op {
+		case Eq:
+			s.union(x, y)
+		case Ne:
+			s.neq = append(s.neq, [2]strNode{x, y})
+		default:
+			// Ordered string comparisons are handled as opaque atoms by
+			// the compiler; reaching here is a programming error.
+			panic("constraint: ordered string atom in strSolver")
+		}
+	}
+	s.check()
+	return s
+}
+
+func (s *strSolver) find(n strNode) strNode {
+	p, ok := s.parent[n]
+	if !ok || p == n {
+		return n
+	}
+	r := s.find(p)
+	s.parent[n] = r
+	return r
+}
+
+func (s *strSolver) union(a, b strNode) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	// Keep literal roots so that literal conflicts surface as one class
+	// with two literal ancestors via the merge below.
+	if ra.lit && rb.lit {
+		if ra.s != rb.s {
+			s.unsat = true
+		}
+		s.parent[rb] = ra
+		return
+	}
+	if rb.lit {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+}
+
+func (s *strSolver) check() {
+	if s.unsat {
+		return
+	}
+	for _, ne := range s.neq {
+		a, b := s.find(ne[0]), s.find(ne[1])
+		if a == b {
+			s.unsat = true
+			return
+		}
+		if a.lit && b.lit && a.s == b.s {
+			s.unsat = true
+			return
+		}
+	}
+}
+
+func (s *strSolver) satisfiable() bool { return !s.unsat }
+
+func (s *strSolver) impliesAtom(a StrAtom) bool {
+	if s.unsat {
+		return true
+	}
+	x := s.find(nodeOfVar(a.X))
+	var y strNode
+	if a.Y == NoVar {
+		y = s.find(nodeOfLit(a.Lit))
+	} else {
+		y = s.find(nodeOfVar(a.Y))
+	}
+	switch a.Op {
+	case Eq:
+		return x == y || (x.lit && y.lit && x.s == y.s)
+	case Ne:
+		// Entailed iff conjoining the equality is unsatisfiable: i.e. the
+		// classes hold distinct literals, or a recorded disequality would
+		// be violated by merging them.
+		if x.lit && y.lit && x.s != y.s {
+			return true
+		}
+		if x == y {
+			return false
+		}
+		for _, ne := range s.neq {
+			a1, b1 := s.find(ne[0]), s.find(ne[1])
+			if (a1 == x && b1 == y) || (a1 == y && b1 == x) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// --- opaque atoms ----------------------------------------------------------
+
+// opaqueConflict reports whether the opaque atoms contain a complementary
+// pair (a and ¬a), which makes the conjunction unsatisfiable.
+func opaqueConflict(atoms []OpaqueAtom) bool {
+	seen := make(map[string]bool, len(atoms)) // key → negated
+	for _, a := range atoms {
+		if neg, ok := seen[a.Key]; ok {
+			if neg != a.Negated {
+				return true
+			}
+			continue
+		}
+		seen[a.Key] = a.Negated
+	}
+	return false
+}
+
+// --- System-level decisions -------------------------------------------------
+
+// Satisfiable reports whether the conjunction has a model. Opaque atoms
+// are treated as free booleans, so they make a system unsatisfiable only
+// through a complementary pair.
+func (s *System) Satisfiable() bool {
+	if opaqueConflict(s.Opaque) {
+		return false
+	}
+	if len(s.Num) > 0 && !newNumSolver(s.Num).satisfiable() {
+		return false
+	}
+	if len(s.Str) > 0 && !newStrSolver(s.Str).satisfiable() {
+		return false
+	}
+	return true
+}
+
+// Tautology reports whether the conjunction is valid (equivalent to TRUE):
+// every atom must individually be a tautology, i.e. its negation must be
+// unsatisfiable. Opaque atoms are never tautologies.
+func (s *System) Tautology() bool {
+	if len(s.Opaque) > 0 {
+		return false
+	}
+	for _, a := range s.Num {
+		if (&System{Num: []Atom{a.Negate()}}).Satisfiable() {
+			return false
+		}
+	}
+	for _, a := range s.Str {
+		if (&System{Str: []StrAtom{a.Negate()}}).Satisfiable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports p ⇒ q: every model of p satisfies q. An unsatisfiable p
+// implies everything (callers that need the paper's "p ≢ F" guard test
+// Satisfiable separately).
+func (p *System) Implies(q *System) bool {
+	if !p.Satisfiable() {
+		return true
+	}
+	var num *numSolver
+	if len(q.Num) > 0 {
+		num = newNumSolver(p.Num)
+	}
+	for _, b := range q.Num {
+		if !num.impliesAtom(b) {
+			return false
+		}
+	}
+	var str *strSolver
+	if len(q.Str) > 0 {
+		str = newStrSolver(p.Str)
+	}
+	for _, b := range q.Str {
+		if !str.impliesAtom(b) {
+			return false
+		}
+	}
+	for _, b := range q.Opaque {
+		if !containsOpaque(p.Opaque, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsOpaque(atoms []OpaqueAtom, b OpaqueAtom) bool {
+	for _, a := range atoms {
+		if a == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Excludes reports p ⇒ ¬q, i.e. p ∧ q is unsatisfiable.
+func (p *System) Excludes(q *System) bool {
+	return !And(p, q).Satisfiable()
+}
+
+// NegImplies reports ¬p ⇒ q. Since p is a conjunction, ¬p is the
+// disjunction of its atoms' negations, so ¬p ⇒ q iff for every atom a of
+// p, ¬a ⇒ q. An empty p (TRUE) has an unsatisfiable negation, which
+// implies everything.
+func (p *System) NegImplies(q *System) bool {
+	for _, a := range p.Num {
+		if !(&System{Num: []Atom{a.Negate()}}).Implies(q) {
+			return false
+		}
+	}
+	for _, a := range p.Str {
+		if !(&System{Str: []StrAtom{a.Negate()}}).Implies(q) {
+			return false
+		}
+	}
+	for _, a := range p.Opaque {
+		if !(&System{Opaque: []OpaqueAtom{a.Negate()}}).Implies(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// NegExcludes reports ¬p ⇒ ¬q, which is the contrapositive of q ⇒ p.
+func (p *System) NegExcludes(q *System) bool {
+	return q.Implies(p)
+}
+
+// signalNaN guards against NaN constants sneaking into the solver, where
+// comparisons would silently misbehave. It returns true if c is NaN.
+func signalNaN(c float64) bool { return math.IsNaN(c) }
+
+// Validate checks a system for malformed atoms (NaN constants, ordered
+// string operators). The solvers assume validated input.
+func (s *System) Validate() error {
+	for _, a := range s.Num {
+		if signalNaN(a.C) {
+			return errNaN
+		}
+	}
+	for _, a := range s.Str {
+		if a.Op != Eq && a.Op != Ne {
+			return errStrOrder
+		}
+	}
+	return nil
+}
+
+var (
+	errNaN      = errorString("constraint: NaN constant in atom")
+	errStrOrder = errorString("constraint: ordered string atoms are not supported; use an opaque atom")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,350 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Variables used throughout: cur=0, prev=1, other=2.
+const (
+	vCur  Var = 0
+	vPrev Var = 1
+	vOth  Var = 2
+)
+
+func sysN(atoms ...Atom) *System    { return &System{Num: atoms} }
+func sysS(atoms ...StrAtom) *System { return &System{Str: atoms} }
+
+func TestOpBasics(t *testing.T) {
+	ops := []Op{Eq, Ne, Lt, Le, Gt, Ge}
+	for _, o := range ops {
+		if o.Negate().Negate() != o {
+			t.Errorf("double negate of %v changed it", o)
+		}
+		if o.Flip().Flip() != o {
+			t.Errorf("double flip of %v changed it", o)
+		}
+	}
+	if Lt.Negate() != Ge || Eq.Negate() != Ne || Le.Negate() != Gt {
+		t.Error("Negate table wrong")
+	}
+	if Lt.Flip() != Gt || Le.Flip() != Ge || Eq.Flip() != Eq {
+		t.Error("Flip table wrong")
+	}
+}
+
+func TestSatisfiabilityNumeric(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *System
+		want bool
+	}{
+		{"empty", &System{}, true},
+		{"x<10", sysN(NewAtomVC(vCur, Lt, 10)), true},
+		{"x<10 and x>20", sysN(NewAtomVC(vCur, Lt, 10), NewAtomVC(vCur, Gt, 20)), false},
+		{"x<10 and x>=10", sysN(NewAtomVC(vCur, Lt, 10), NewAtomVC(vCur, Ge, 10)), false},
+		{"x<=10 and x>=10", sysN(NewAtomVC(vCur, Le, 10), NewAtomVC(vCur, Ge, 10)), true},
+		{"x<y and y<x", sysN(NewAtomVV(vCur, Lt, vPrev), NewAtomVV(vPrev, Lt, vCur)), false},
+		{"x<y and y<z and z<x", sysN(NewAtomVV(vCur, Lt, vPrev), NewAtomVV(vPrev, Lt, vOth), NewAtomVV(vOth, Lt, vCur)), false},
+		{"x<y+1 and y<x", sysN(NewAtomVVC(vCur, Lt, vPrev, 1), NewAtomVV(vPrev, Lt, vCur)), true},
+		{"x=y and x!=y", sysN(NewAtomVV(vCur, Eq, vPrev), NewAtomVV(vCur, Ne, vPrev)), false},
+		{"x=y+2 and x!=y+2", sysN(NewAtomVVC(vCur, Eq, vPrev, 2), NewAtomVVC(vCur, Ne, vPrev, 2)), false},
+		{"x=y+2 and x!=y+3", sysN(NewAtomVVC(vCur, Eq, vPrev, 2), NewAtomVVC(vCur, Ne, vPrev, 3)), true},
+		{"x<=y and y<=x and x!=y", sysN(NewAtomVV(vCur, Le, vPrev), NewAtomVV(vPrev, Le, vCur), NewAtomVV(vCur, Ne, vPrev)), false},
+		{"x=5 and x!=5", sysN(NewAtomVC(vCur, Eq, 5), NewAtomVC(vCur, Ne, 5)), false},
+		{"x=5 and x!=6", sysN(NewAtomVC(vCur, Eq, 5), NewAtomVC(vCur, Ne, 6)), true},
+		{"chain equals pin", sysN(NewAtomVVC(vCur, Eq, vPrev, 1), NewAtomVVC(vPrev, Eq, vOth, 1), NewAtomVVC(vCur, Ne, vOth, 2)), false},
+		// Interval of width zero from two inequalities plus ≠ at that point.
+		{"x>=10 x<=10 x!=10", sysN(NewAtomVC(vCur, Ge, 10), NewAtomVC(vCur, Le, 10), NewAtomVC(vCur, Ne, 10)), false},
+		{"x>=10 x<=11 x!=10", sysN(NewAtomVC(vCur, Ge, 10), NewAtomVC(vCur, Le, 11), NewAtomVC(vCur, Ne, 10)), true},
+	}
+	for _, c := range cases {
+		if got := c.sys.Satisfiable(); got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSatisfiabilityStrings(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *System
+		want bool
+	}{
+		{"x=IBM", sysS(NewStrAtomVL(vCur, Eq, "IBM")), true},
+		{"x=IBM and x=INTC", sysS(NewStrAtomVL(vCur, Eq, "IBM"), NewStrAtomVL(vCur, Eq, "INTC")), false},
+		{"x=IBM and x!=IBM", sysS(NewStrAtomVL(vCur, Eq, "IBM"), NewStrAtomVL(vCur, Ne, "IBM")), false},
+		{"x=IBM and x!=INTC", sysS(NewStrAtomVL(vCur, Eq, "IBM"), NewStrAtomVL(vCur, Ne, "INTC")), true},
+		{"x=y and y=IBM and x!=IBM", sysS(NewStrAtomVV(vCur, Eq, vPrev), NewStrAtomVL(vPrev, Eq, "IBM"), NewStrAtomVL(vCur, Ne, "IBM")), false},
+		{"x!=y and y!=x", sysS(NewStrAtomVV(vCur, Ne, vPrev), NewStrAtomVV(vPrev, Ne, vCur)), true},
+		{"x=y and x!=y", sysS(NewStrAtomVV(vCur, Eq, vPrev), NewStrAtomVV(vCur, Ne, vPrev)), false},
+	}
+	for _, c := range cases {
+		if got := c.sys.Satisfiable(); got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSatisfiabilityOpaque(t *testing.T) {
+	p := OpaqueAtom{Key: "contains(img, 'cat')"}
+	s := &System{Opaque: []OpaqueAtom{p, p}}
+	if !s.Satisfiable() {
+		t.Error("duplicate opaque atoms should be satisfiable")
+	}
+	s = &System{Opaque: []OpaqueAtom{p, p.Negate()}}
+	if s.Satisfiable() {
+		t.Error("complementary opaque atoms should be unsatisfiable")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	lt := func(x, y Var) Atom { return NewAtomVV(x, Lt, y) }
+	cases := []struct {
+		name string
+		p, q *System
+		want bool
+	}{
+		{"x<y implies x<y", sysN(lt(vCur, vPrev)), sysN(lt(vCur, vPrev)), true},
+		{"x<y implies x<=y", sysN(lt(vCur, vPrev)), sysN(NewAtomVV(vCur, Le, vPrev)), true},
+		{"x<=y not implies x<y", sysN(NewAtomVV(vCur, Le, vPrev)), sysN(lt(vCur, vPrev)), false},
+		{"x<y implies x!=y", sysN(lt(vCur, vPrev)), sysN(NewAtomVV(vCur, Ne, vPrev)), true},
+		{"x<5 implies x<10", sysN(NewAtomVC(vCur, Lt, 5)), sysN(NewAtomVC(vCur, Lt, 10)), true},
+		{"x<10 not implies x<5", sysN(NewAtomVC(vCur, Lt, 10)), sysN(NewAtomVC(vCur, Lt, 5)), false},
+		{"x<5 implies x<=5", sysN(NewAtomVC(vCur, Lt, 5)), sysN(NewAtomVC(vCur, Le, 5)), true},
+		{"x=5 implies x>=5 and x<=5", sysN(NewAtomVC(vCur, Eq, 5)), sysN(NewAtomVC(vCur, Ge, 5), NewAtomVC(vCur, Le, 5)), true},
+		{"x>=5 and x<=5 implies x=5", sysN(NewAtomVC(vCur, Ge, 5), NewAtomVC(vCur, Le, 5)), sysN(NewAtomVC(vCur, Eq, 5)), true},
+		{"transitive var chain", sysN(lt(vCur, vPrev), lt(vPrev, vOth)), sysN(lt(vCur, vOth)), true},
+		{"offset chain", sysN(NewAtomVVC(vCur, Le, vPrev, 2), NewAtomVVC(vPrev, Le, vOth, 3)), sysN(NewAtomVVC(vCur, Le, vOth, 5)), true},
+		{"offset chain tighter fails", sysN(NewAtomVVC(vCur, Le, vPrev, 2), NewAtomVVC(vPrev, Le, vOth, 3)), sysN(NewAtomVVC(vCur, Le, vOth, 4)), false},
+		{"neq via premise neq", sysN(NewAtomVV(vCur, Ne, vPrev)), sysN(NewAtomVV(vPrev, Ne, vCur)), true},
+		{"neq via equality chain", sysN(NewAtomVV(vCur, Ne, vPrev), NewAtomVV(vPrev, Eq, vOth)), sysN(NewAtomVV(vCur, Ne, vOth)), true},
+		{"unsat premise implies anything", sysN(NewAtomVC(vCur, Lt, 0), NewAtomVC(vCur, Gt, 0)), sysN(NewAtomVC(vOth, Eq, 42)), true},
+		{"empty premise implies tautology", &System{}, sysN(NewAtomVVC(vCur, Le, vCur, 0)), true},
+		{"empty premise not implies x<5", &System{}, sysN(NewAtomVC(vCur, Lt, 5)), false},
+		{"paper ex5: p2 implies p1", sysN(lt(vCur, vPrev), NewAtomVC(vCur, Gt, 40), NewAtomVC(vCur, Lt, 50)), sysN(lt(vCur, vPrev)), true},
+		{"string implied", sysS(NewStrAtomVL(vCur, Eq, "IBM")), sysS(NewStrAtomVL(vCur, Eq, "IBM")), true},
+		{"string neq implied by distinct literal", sysS(NewStrAtomVL(vCur, Eq, "IBM")), sysS(NewStrAtomVL(vCur, Ne, "INTC")), true},
+		{"string not implied", sysS(NewStrAtomVL(vCur, Eq, "IBM")), sysS(NewStrAtomVL(vPrev, Eq, "IBM")), false},
+		{"opaque syntactic", &System{Opaque: []OpaqueAtom{{Key: "f(x)"}}}, &System{Opaque: []OpaqueAtom{{Key: "f(x)"}}}, true},
+		{"opaque different keys", &System{Opaque: []OpaqueAtom{{Key: "f(x)"}}}, &System{Opaque: []OpaqueAtom{{Key: "g(x)"}}}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Implies(c.q); got != c.want {
+			t.Errorf("%s: Implies = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExcludesAndNegImplies(t *testing.T) {
+	up := sysN(NewAtomVV(vCur, Gt, vPrev))   // cur > prev
+	down := sysN(NewAtomVV(vCur, Lt, vPrev)) // cur < prev
+	if !up.Excludes(down) {
+		t.Error("up should exclude down")
+	}
+	if up.Excludes(up) {
+		t.Error("up should not exclude itself")
+	}
+	// ¬(cur>prev) = cur<=prev, which does not imply cur<prev.
+	if up.NegImplies(down) {
+		t.Error("¬up should not imply down (boundary case cur=prev)")
+	}
+	// ¬(cur>prev) implies cur<=prev.
+	le := sysN(NewAtomVV(vCur, Le, vPrev))
+	if !up.NegImplies(le) {
+		t.Error("¬up should imply cur<=prev")
+	}
+	// NegExcludes: ¬p ⇒ ¬q iff q ⇒ p. Paper Example 5: φ43 = 0 because
+	// p3 (cur>prev ∧ cur<52) ⇒ p4 (cur>prev).
+	p4 := up
+	p3 := sysN(NewAtomVV(vCur, Gt, vPrev), NewAtomVC(vCur, Lt, 52))
+	if !p4.NegExcludes(p3) {
+		t.Error("¬p4 should imply ¬p3 (paper φ43 = 0)")
+	}
+}
+
+func TestTautology(t *testing.T) {
+	if !(&System{}).Tautology() {
+		t.Error("empty system should be a tautology")
+	}
+	if !sysN(NewAtomVVC(vCur, Le, vCur, 0)).Tautology() {
+		t.Error("x<=x should be a tautology")
+	}
+	if !sysN(NewAtomVVC(vCur, Ge, vCur, -1)).Tautology() {
+		t.Error("x>=x-1 should be a tautology")
+	}
+	if sysN(NewAtomVC(vCur, Lt, 5)).Tautology() {
+		t.Error("x<5 should not be a tautology")
+	}
+	if (&System{Opaque: []OpaqueAtom{{Key: "f"}}}).Tautology() {
+		t.Error("opaque atoms are never tautologies")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := sysN(NewAtomVC(vCur, Lt, nan()))
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN constant accepted")
+	}
+	badStr := sysS(StrAtom{X: vCur, Op: Lt, Lit: "z"})
+	if err := badStr.Validate(); err == nil {
+		t.Error("ordered string atom accepted")
+	}
+	ok := sysN(NewAtomVC(vCur, Lt, 1))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	f := 0.0
+	return f / f
+}
+
+func TestSystemStringAndClone(t *testing.T) {
+	s := sysN(NewAtomVV(vCur, Lt, vPrev), NewAtomVC(vCur, Gt, 40))
+	s.AddStr(NewStrAtomVL(vOth, Eq, "IBM"))
+	s.AddOpaque(OpaqueAtom{Key: "f(x)", Negated: true})
+	c := s.Clone()
+	if c.String() != s.String() {
+		t.Error("clone String differs")
+	}
+	c.Num[0].Op = Gt
+	if c.String() == s.String() {
+		t.Error("clone shares storage with original")
+	}
+	if (&System{}).String() != "TRUE" {
+		t.Error("empty system should print TRUE")
+	}
+}
+
+// randomAtom builds a random atom over 3 variables with small constants.
+func randomAtom(r *rand.Rand) Atom {
+	ops := []Op{Eq, Ne, Lt, Le, Gt, Ge}
+	x := Var(r.Intn(3))
+	op := ops[r.Intn(len(ops))]
+	if r.Intn(2) == 0 {
+		return NewAtomVC(x, op, float64(r.Intn(7)-3))
+	}
+	y := Var(r.Intn(3))
+	return NewAtomVVC(x, op, y, float64(r.Intn(7)-3))
+}
+
+// evalAtom evaluates an atom under an assignment.
+func evalAtom(a Atom, env [3]float64) bool {
+	lhs := env[a.X]
+	rhs := a.C
+	if a.Y != NoVar {
+		rhs += env[a.Y]
+	}
+	switch a.Op {
+	case Eq:
+		return lhs == rhs
+	case Ne:
+		return lhs != rhs
+	case Lt:
+		return lhs < rhs
+	case Le:
+		return lhs <= rhs
+	case Gt:
+		return lhs > rhs
+	case Ge:
+		return lhs >= rhs
+	}
+	return false
+}
+
+func evalSys(s *System, env [3]float64) bool {
+	for _, a := range s.Num {
+		if !evalAtom(a, env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: if the solver says p implies q, then no sampled assignment
+// satisfies p but violates q; if it says p excludes q, no assignment
+// satisfies both; if it says unsat, no assignment satisfies p.
+// (Soundness spot-check by exhaustive small-grid evaluation.)
+func TestSolverSoundnessAgainstGrid(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	grid := []float64{-3, -2.5, -2, -1, -0.5, 0, 0.5, 1, 2, 2.5, 3, 4}
+	for trial := 0; trial < 300; trial++ {
+		var p, q System
+		for i := 0; i < 1+r.Intn(3); i++ {
+			p.AddNum(randomAtom(r))
+		}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			q.AddNum(randomAtom(r))
+		}
+		sat := p.Satisfiable()
+		imp := p.Implies(&q)
+		exc := p.Excludes(&q)
+		for _, a := range grid {
+			for _, b := range grid {
+				for _, c := range grid {
+					env := [3]float64{a, b, c}
+					pv := evalSys(&p, env)
+					qv := evalSys(&q, env)
+					if pv && !sat {
+						t.Fatalf("trial %d: solver says unsat but %v satisfies %s", trial, env, p.String())
+					}
+					if imp && pv && !qv {
+						t.Fatalf("trial %d: solver says %s implies %s but %v is a countermodel", trial, p.String(), q.String(), env)
+					}
+					if exc && pv && qv {
+						t.Fatalf("trial %d: solver says %s excludes %s but %v satisfies both", trial, p.String(), q.String(), env)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: completeness of satisfiability on systems that have a model in
+// the small grid — if a grid point satisfies p, the solver must say sat.
+// (This is implied by soundness of unsat above, so here we check the dual:
+// implication completeness on entailments witnessed syntactically.)
+func TestImpliesReflexivityRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		var p System
+		for i := 0; i < 1+r.Intn(4); i++ {
+			p.AddNum(randomAtom(r))
+		}
+		if !p.Implies(&p) {
+			t.Fatalf("trial %d: %s does not imply itself", trial, p.String())
+		}
+		// p implies each of its own atoms.
+		for _, a := range p.Num {
+			if !p.Implies(sysN(a)) {
+				t.Fatalf("trial %d: %s does not imply own atom %s", trial, p.String(), a)
+			}
+		}
+		// p and ¬a are mutually exclusive for each atom a of p.
+		for _, a := range p.Num {
+			if !p.Excludes(sysN(a.Negate())) {
+				t.Fatalf("trial %d: %s does not exclude %s", trial, p.String(), a.Negate())
+			}
+		}
+	}
+}
+
+func TestAtomStrings(t *testing.T) {
+	if s := NewAtomVC(vCur, Lt, 10).String(); s != "v0 < 10" {
+		t.Errorf("got %q", s)
+	}
+	if s := NewAtomVV(vCur, Ge, vPrev).String(); s != "v0 >= v1" {
+		t.Errorf("got %q", s)
+	}
+	if s := NewAtomVVC(vCur, Le, vPrev, 1.5).String(); s != "v0 <= v1 + 1.5" {
+		t.Errorf("got %q", s)
+	}
+	if s := NewStrAtomVL(vCur, Eq, "IBM").String(); s != `v0 = "IBM"` {
+		t.Errorf("got %q", s)
+	}
+	if s := (OpaqueAtom{Key: "f", Negated: true}).String(); s != "NOT f" {
+		t.Errorf("got %q", s)
+	}
+}

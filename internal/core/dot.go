@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlts/internal/logic"
+	"sqlts/internal/pattern"
+)
+
+// GraphDOT renders the implication graph G_P^j of a star pattern (§5.1)
+// in Graphviz DOT format: nodes are the θ entries (row j replaced by φ),
+// labelled with their three-valued values; arcs follow the five
+// transition rules; nodes and arcs on paths to the last row — the ones
+// that determine shift(j) — are highlighted. Zero-valued nodes are drawn
+// dashed since they carry no arcs.
+func GraphDOT(p *pattern.Pattern, j int) string {
+	m := ComputeMatrices(p)
+	star := make([]bool, p.Len()+1)
+	for i := range p.Elems {
+		star[i+1] = p.Elems[i].Star
+	}
+	g := newStarGraph(j, m, star)
+	reached := g.reachesLastRow()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph G_P_%d {\n", j)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+	name := func(n node) string { return fmt.Sprintf("n%d_%d", n.r, n.c) }
+	for r := 2; r <= j; r++ {
+		for c := 1; c < r; c++ {
+			n := node{r, c}
+			v := g.val(n)
+			kind := "theta"
+			if r == j {
+				kind = "phi"
+			}
+			attrs := []string{fmt.Sprintf(`label="%s[%d][%d]=%s"`, kind, r, c, v)}
+			if v == logic.False {
+				attrs = append(attrs, "style=dashed", "color=gray")
+			} else if reached[n] {
+				attrs = append(attrs, "style=bold", "color=blue")
+			}
+			if r == j {
+				attrs = append(attrs, "shape=doublecircle")
+			}
+			fmt.Fprintf(&b, "  %s [%s];\n", name(n), strings.Join(attrs, ", "))
+		}
+	}
+	for r := 2; r < j; r++ {
+		for c := 1; c < r; c++ {
+			n := node{r, c}
+			for _, t := range g.out(n) {
+				attr := ""
+				if reached[n] && reached[t] {
+					attr = " [color=blue, penwidth=2]"
+				}
+				fmt.Fprintf(&b, "  %s -> %s%s;\n", name(n), name(t), attr)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

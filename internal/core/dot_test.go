@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGraphDOTExample9 checks the DOT rendering of the paper's G_P^6
+// against the worked example: the path from θ[4][1] to the last row must
+// be highlighted, the θ[3][1] = 0 node dashed, and the last-row nodes
+// double circles.
+func TestGraphDOTExample9(t *testing.T) {
+	p := example9Pattern(t)
+	dot := GraphDOT(p, 6)
+	for _, want := range []string{
+		"digraph G_P_6",
+		`n4_1 [label="theta[4][1]=1", style=bold, color=blue`, // on the shift path
+		`n3_1 [label="theta[3][1]=0", style=dashed`,           // zero node
+		"shape=doublecircle",                                  // last row
+		"n4_1 -> n5_1",                                        // rule 2 arcs from θ41
+		"n4_1 -> n5_2",
+		"n5_1 -> n6_1 [color=blue, penwidth=2]", // the path Definition 1 uses
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// No arcs may leave the last row.
+	if strings.Contains(dot, "n6_1 ->") {
+		t.Error("arc leaving the last row")
+	}
+}
+
+// TestGraphDOTPlainPattern renders a star-free pattern's graph without
+// panicking; all arcs are diagonal (rule 3).
+func TestGraphDOTPlainPattern(t *testing.T) {
+	p := example4Pattern(t)
+	dot := GraphDOT(p, 4)
+	if !strings.Contains(dot, "digraph G_P_4") {
+		t.Fatalf("bad DOT:\n%s", dot)
+	}
+	if strings.Contains(dot, "n2_1 -> n2_2") {
+		t.Error("horizontal arc in a star-free pattern")
+	}
+}

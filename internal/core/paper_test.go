@@ -1,0 +1,278 @@
+package core
+
+// Tests in this file assert the exact matrices and arrays printed in the
+// paper (Examples 5, 6, 7 for the plain pattern of Example 4; Example 9
+// and the G_P^6 walk-through for the star pattern). They are the
+// reproduction's compile-time ground truth.
+
+import (
+	"testing"
+
+	"sqlts/internal/constraint"
+	"sqlts/internal/logic"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// quoteSchema mirrors the paper's quote table.
+func quoteSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.Column{Name: "name", Type: storage.TypeString},
+		storage.Column{Name: "date", Type: storage.TypeDate},
+		storage.Column{Name: "price", Type: storage.TypeFloat},
+	)
+}
+
+// example4Pattern builds the pattern of the paper's Example 4:
+//
+//	p1 = price < previous.price
+//	p2 = price < previous.price ∧ 40 < price < 50
+//	p3 = price > previous.price ∧ price < 52
+//	p4 = price > previous.price
+func example4Pattern(t testing.TB) *pattern.Pattern {
+	t.Helper()
+	s := quoteSchema()
+	b := pattern.NewBuilder(s)
+	b.Elem("X", b.CmpPrev("price", constraint.Lt)).
+		Elem("Y", b.CmpPrev("price", constraint.Lt),
+			b.CmpConst("price", pattern.Cur, constraint.Gt, 40),
+			b.CmpConst("price", pattern.Cur, constraint.Lt, 50)).
+		Elem("Z", b.CmpPrev("price", constraint.Gt),
+			b.CmpConst("price", pattern.Cur, constraint.Lt, 52)).
+		Elem("T", b.CmpPrev("price", constraint.Gt))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// example9Pattern builds the star pattern of the paper's Example 9:
+// AS (*X, Y, *Z, *T, U, *V, S).
+func example9Pattern(t testing.TB) *pattern.Pattern {
+	t.Helper()
+	s := quoteSchema()
+	b := pattern.NewBuilder(s)
+	b.Star("X", b.CmpPrev("price", constraint.Gt)).
+		Elem("Y", b.CmpConst("price", pattern.Cur, constraint.Gt, 30),
+			b.CmpConst("price", pattern.Cur, constraint.Lt, 40)).
+		Star("Z", b.CmpPrev("price", constraint.Lt)).
+		Star("T", b.CmpPrev("price", constraint.Gt)).
+		Elem("U", b.CmpConst("price", pattern.Cur, constraint.Gt, 35),
+			b.CmpConst("price", pattern.Cur, constraint.Lt, 40)).
+		Star("V", b.CmpPrev("price", constraint.Lt)).
+		Elem("S", b.CmpConst("price", pattern.Cur, constraint.Lt, 30))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustMatrix(t *testing.T, s string) *logic.TriMatrix {
+	t.Helper()
+	m, err := logic.ParseTriMatrix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestExample4Matrices asserts θ and φ exactly as printed in Example 5.
+func TestExample4Matrices(t *testing.T) {
+	p := example4Pattern(t)
+	m := ComputeMatrices(p)
+
+	wantTheta := mustMatrix(t, `
+		[1]
+		[1 1]
+		[0 0 1]
+		[0 0 U 1]`)
+	if !m.Theta.Equal(wantTheta) {
+		t.Errorf("theta mismatch:\ngot\n%s\nwant\n%s", m.Theta, wantTheta)
+	}
+
+	wantPhi := mustMatrix(t, `
+		[0]
+		[U 0]
+		[U U 0]
+		[U U 0 0]`)
+	if !m.Phi.Equal(wantPhi) {
+		t.Errorf("phi mismatch:\ngot\n%s\nwant\n%s", m.Phi, wantPhi)
+	}
+}
+
+// TestExample4S asserts the S matrix of Example 6.
+func TestExample4S(t *testing.T) {
+	p := example4Pattern(t)
+	s := ComputeS(ComputeMatrices(p))
+	want := []struct {
+		j, k int
+		v    logic.Value
+	}{
+		{2, 1, logic.Unknown},
+		{3, 1, logic.Unknown},
+		{3, 2, logic.Unknown},
+		{4, 1, logic.False},
+		{4, 2, logic.False},
+		{4, 3, logic.Unknown},
+	}
+	for _, w := range want {
+		if got := s.At(w.j, w.k); got != w.v {
+			t.Errorf("S[%d][%d] = %v, want %v", w.j, w.k, got, w.v)
+		}
+	}
+}
+
+// TestExample4ShiftNext asserts shift and next from Example 7.
+func TestExample4ShiftNext(t *testing.T) {
+	tables := Compute(example4Pattern(t))
+	if tables.HasStar {
+		t.Fatal("Example 4 pattern should be star-free")
+	}
+	wantShift := []int{0, 1, 1, 1, 3}
+	wantNext := []int{0, 0, 1, 2, 1}
+	for j := 1; j <= 4; j++ {
+		if tables.Shift[j] != wantShift[j] {
+			t.Errorf("shift(%d) = %d, want %d", j, tables.Shift[j], wantShift[j])
+		}
+		if tables.Next[j] != wantNext[j] {
+			t.Errorf("next(%d) = %d, want %d", j, tables.Next[j], wantNext[j])
+		}
+	}
+}
+
+// TestExample9Theta asserts θ exactly as printed in Example 9.
+func TestExample9Theta(t *testing.T) {
+	p := example9Pattern(t)
+	m := ComputeMatrices(p)
+	want := mustMatrix(t, `
+		[1]
+		[U 1]
+		[0 U 1]
+		[1 U 0 1]
+		[U 1 U U 1]
+		[0 U 1 0 U 1]
+		[U 0 U U 0 U 1]`)
+	if !m.Theta.Equal(want) {
+		t.Errorf("theta mismatch:\ngot\n%s\nwant\n%s", m.Theta, want)
+	}
+}
+
+// TestExample9Phi asserts φ per the paper's definitions. The printed φ in
+// the paper appears to be garbled in reproduction sources (it shows eight
+// rows for a seven-element pattern); the entries here are recomputed by
+// hand from Definition of φ: φ[j][k] = 1 if ¬p_j ⇒ p_k, 0 if p_k ⇒ p_j
+// (and p_j ≢ T), else U. Notably φ[4][1] = 0 and φ[6][3] = 0 because
+// p1 ≡ p4 and p3 ≡ p6 are syntactically identical predicates.
+func TestExample9Phi(t *testing.T) {
+	p := example9Pattern(t)
+	m := ComputeMatrices(p)
+	want := mustMatrix(t, `
+		[0]
+		[U 0]
+		[U U 0]
+		[0 U U 0]
+		[U U U U 0]
+		[U U 0 U U 0]
+		[U U U U U U 0]`)
+	if !m.Phi.Equal(want) {
+		t.Errorf("phi mismatch:\ngot\n%s\nwant\n%s", m.Phi, want)
+	}
+}
+
+// TestExample9ShiftNext6 asserts the paper's worked result for the
+// failure at element 6: shift(6) = 3 (path from θ[4][1] to the last row
+// of G_P^6; no path from θ[2][1] or θ[3][1]) and next(6) = 1 (θ[4][1] is
+// not deterministic).
+func TestExample9ShiftNext6(t *testing.T) {
+	tables := Compute(example9Pattern(t))
+	if !tables.HasStar {
+		t.Fatal("Example 9 pattern should have stars")
+	}
+	if tables.Shift[6] != 3 {
+		t.Errorf("shift(6) = %d, want 3", tables.Shift[6])
+	}
+	if tables.Next[6] != 1 {
+		t.Errorf("next(6) = %d, want 1", tables.Next[6])
+	}
+}
+
+// TestExample9GraphPaths checks the graph-reachability facts the paper
+// derives while building G_P^6.
+func TestExample9GraphPaths(t *testing.T) {
+	p := example9Pattern(t)
+	m := ComputeMatrices(p)
+	star := make([]bool, p.Len()+1)
+	for i := range p.Elems {
+		star[i+1] = p.Elems[i].Star
+	}
+	g := newStarGraph(6, m, star)
+	reached := g.reachesLastRow()
+	if !reached[node{4, 1}] {
+		t.Error("no path from theta[4][1] to last row; paper requires one")
+	}
+	if reached[node{3, 1}] {
+		t.Error("path from theta[3][1] found; paper says shift 2 is impossible")
+	}
+	if reached[node{2, 1}] {
+		t.Error("path from theta[2][1] found; paper says shift 1 is impossible")
+	}
+}
+
+// TestStarAlgorithmOnPlainPattern cross-checks the two shift computations:
+// on a star-free pattern the graph-based shift must coincide with the
+// §4.2 matrix-based shift for every j, and the graph-based next may only
+// differ in the "reached last row" case, where it is exactly one less
+// (re-testing the failed element instead of skipping it).
+func TestStarAlgorithmOnPlainPattern(t *testing.T) {
+	p := example4Pattern(t)
+	m := ComputeMatrices(p)
+	tables := Compute(p)
+	star := make([]bool, p.Len()+1) // all false
+	for j := 1; j <= p.Len(); j++ {
+		sh, nx, _ := starShiftNext(j, m, star)
+		if sh != tables.Shift[j] {
+			t.Errorf("j=%d: graph shift %d != matrix shift %d", j, sh, tables.Shift[j])
+		}
+		if nx != tables.Next[j] && nx != tables.Next[j]-1 {
+			t.Errorf("j=%d: graph next %d vs matrix next %d (allowed: equal or one less)", j, nx, tables.Next[j])
+		}
+	}
+}
+
+// TestExplainRendering smoke-tests the Explain output used by the CLI.
+func TestExplainRendering(t *testing.T) {
+	for _, p := range []*pattern.Pattern{example4Pattern(t), example9Pattern(t)} {
+		out := Compute(p).Explain()
+		for _, want := range []string{"theta =", "phi =", "shift :", "next  :"} {
+			if !contains(out, want) {
+				t.Errorf("Explain output missing %q:\n%s", want, out)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestAvgShiftNext checks the §8 heuristic signals on Example 4.
+func TestAvgShiftNext(t *testing.T) {
+	tables := Compute(example4Pattern(t))
+	if got := tables.AvgShift(); got != (1+1+1+3)/4.0 {
+		t.Errorf("AvgShift = %g, want 1.5", got)
+	}
+	if got := tables.AvgNext(); got != (0+1+2+1)/4.0 {
+		t.Errorf("AvgNext = %g, want 1", got)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import "sqlts/internal/logic"
+
+// ComputeS derives the shift matrix S from θ and φ (§4.2):
+//
+//	S[j][k] = θ[k+1][1] ∧ θ[k+2][2] ∧ … ∧ θ[j-1][j-k-1] ∧ φ[j][j-k]
+//
+// defined for j > k. S[j][k] = 0 means the pattern cannot succeed if
+// shifted k positions after failing at element j; 1 means it certainly
+// holds on the overlap; U means it may.
+//
+// S is only meaningful for patterns without star elements; star patterns
+// use the implication graphs instead.
+func ComputeS(m *Matrices) *logic.TriMatrix {
+	n := m.Theta.Size()
+	s := logic.NewTriMatrix(n, logic.False)
+	for j := 2; j <= n; j++ {
+		for k := 1; k < j; k++ {
+			v := m.Phi.At(j, j-k)
+			for t := 1; t <= j-k-1; t++ {
+				v = v.And(m.Theta.At(k+t, t))
+				if v == logic.False {
+					break
+				}
+			}
+			s.Set(j, k, v)
+		}
+	}
+	return s
+}
+
+// plainShiftNext computes the shift and next arrays for a star-free
+// pattern from S, θ and φ, per §4.2. Arrays are 1-indexed: entry [j] is
+// defined for 1 ≤ j ≤ m; entry [0] is unused.
+func plainShiftNext(m *Matrices, s *logic.TriMatrix) (shift, next []int) {
+	n := s.Size()
+	shift = make([]int, n+1)
+	next = make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		// shift(j): leftmost non-zero column of row j of S, else j.
+		sh := j
+		for k := 1; k < j; k++ {
+			if s.At(j, k) != logic.False {
+				sh = k
+				break
+			}
+		}
+		shift[j] = sh
+
+		switch {
+		case sh == j:
+			next[j] = 0
+		case s.At(j, sh) == logic.True:
+			next[j] = j - sh + 1
+		default:
+			// First pattern position whose validity on the overlap is
+			// not already known: the leftmost U conjunct of S[j][sh].
+			nx := 0
+			for t := 1; t < j-sh; t++ {
+				if m.Theta.At(sh+t, t) == logic.Unknown {
+					nx = t
+					break
+				}
+			}
+			if nx == 0 {
+				// All θ conjuncts are 1, so the U must be φ[j][j-sh].
+				nx = j - sh
+			}
+			next[j] = nx
+		}
+	}
+	return shift, next
+}

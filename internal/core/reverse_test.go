@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/constraint"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+func TestReversePatternErrors(t *testing.T) {
+	s := storage.MustSchema(storage.Column{Name: "price", Type: storage.TypeFloat})
+
+	// Star elements are not reversible.
+	b := pattern.NewBuilder(s)
+	star := b.Star("X", b.CmpPrev("price", constraint.Gt)).MustBuild()
+	if _, err := ReversePattern(star); err == nil || !strings.Contains(err.Error(), "star") {
+		t.Errorf("star reversal err = %v", err)
+	}
+
+	// Cross conditions are not reversible.
+	b2 := pattern.NewBuilder(s)
+	b2.Elem("X").Elem("Y").CrossOn("k", func(*pattern.EvalContext) bool { return true })
+	cross := b2.MustBuild()
+	if _, err := ReversePattern(cross); err == nil || !strings.Contains(err.Error(), "cross") {
+		t.Errorf("cross reversal err = %v", err)
+	}
+
+	// Opaque conditions are not reversible.
+	b3 := pattern.NewBuilder(s)
+	opq := b3.Elem("X", pattern.Opaque("f", func(_, _ storage.Row) bool { return true })).MustBuild()
+	if _, err := ReversePattern(opq); err == nil || !strings.Contains(err.Error(), "opaque") {
+		t.Errorf("opaque reversal err = %v", err)
+	}
+}
+
+// TestReversePatternStructure checks the condition relocation rules: a
+// predecessor condition moves to the element covering the referenced
+// tuple, and element-1 predecessor conditions become cross conditions on
+// the last reversed element.
+func TestReversePatternStructure(t *testing.T) {
+	s := storage.MustSchema(storage.Column{Name: "price", Type: storage.TypeFloat})
+	b := pattern.NewBuilder(s)
+	p := b.Elem("X", b.CmpPrev("price", constraint.Lt), b.CmpConst("price", pattern.Cur, constraint.Gt, 10)).
+		Elem("Y", b.CmpPrev("price", constraint.Gt)).
+		MustBuild()
+	rp, err := ReversePattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.String() != "(Y, X)" {
+		t.Errorf("reversed shape = %s", rp.String())
+	}
+	// Y's pair condition constrains the pair (t_Y, t_X) and is evaluated
+	// at t_X in the reversed traversal, so it relocates (role-swapped) to
+	// the reversed element covering X, joining X's current-only
+	// condition; the reversed Y element keeps nothing.
+	if len(rp.Elems[0].Local) != 0 {
+		t.Errorf("reversed Y conds = %v", rp.Elems[0].Local)
+	}
+	if len(rp.Elems[1].Local) != 2 {
+		t.Errorf("reversed X conds = %v", rp.Elems[1].Local)
+	}
+	// X's predecessor condition becomes a rev-head cross condition on the
+	// last reversed element.
+	if len(rp.Elems[1].CrossConds) != 1 || !strings.Contains(rp.Elems[1].CrossConds[0].Key, "rev-head") {
+		t.Errorf("rev-head cross = %v", rp.Elems[1].CrossConds)
+	}
+}
+
+func TestChooseDirectionFallsBackOnIrreversible(t *testing.T) {
+	s := storage.MustSchema(storage.Column{Name: "price", Type: storage.TypeFloat})
+	b := pattern.NewBuilder(s)
+	star := b.Star("X", b.CmpPrev("price", constraint.Gt)).MustBuild()
+	dir, fwd, rev := ChooseDirection(star)
+	if dir != Forward || fwd == nil || rev != nil {
+		t.Errorf("irreversible pattern: dir=%v fwd=%v rev=%v", dir, fwd != nil, rev != nil)
+	}
+	if Forward.String() != "forward" || Reverse.String() != "reverse" {
+		t.Error("direction names wrong")
+	}
+}

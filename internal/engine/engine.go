@@ -1,0 +1,193 @@
+// Package engine implements the runtime side of SQL-TS pattern search:
+// the naive baseline executor, the OPS executor driven by the compile-time
+// shift/next tables of the core package (plain and star variants), and
+// the classic Knuth–Morris–Pratt text matcher the paper generalizes.
+//
+// All executors implement identical match semantics (greedy one-or-more
+// stars, left-maximality via the skip policy) and count the metric the
+// paper's experiments report: the number of times an input element is
+// tested against a pattern element.
+package engine
+
+import (
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// Span aliases pattern.Span for convenience in the engine's public API.
+type Span = pattern.Span
+
+// Match is one pattern occurrence: 0-based inclusive input indexes plus
+// the per-element spans (0-based as well).
+type Match struct {
+	Start, End int
+	Spans      []pattern.Span
+}
+
+// Stats aggregates runtime counters for one search.
+type Stats struct {
+	// PredEvals counts predicate evaluations — the paper's performance
+	// metric ("the number of times that an element of input is tested
+	// against a pattern element").
+	PredEvals int64
+	// Rollbacks counts mismatch-handling events (shift/next applications
+	// for OPS, restart advances for naive).
+	Rollbacks int64
+	// Matches counts reported occurrences.
+	Matches int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PredEvals += other.PredEvals
+	s.Rollbacks += other.Rollbacks
+	s.Matches += other.Matches
+}
+
+// SkipPolicy controls where the search resumes after a match.
+type SkipPolicy uint8
+
+// Skip policies. SkipPastLastRow implements the paper's left-maximality
+// (overlapping occurrences are suppressed in favour of the earliest one);
+// SkipToNextRow reports every occurrence start.
+const (
+	SkipPastLastRow SkipPolicy = iota
+	SkipToNextRow
+)
+
+// String names the policy.
+func (p SkipPolicy) String() string {
+	if p == SkipToNextRow {
+		return "skip-to-next-row"
+	}
+	return "skip-past-last-row"
+}
+
+// PathPoint is one step of the search path: the 1-based input cursor and
+// pattern cursor at the time of a predicate evaluation (the paper's
+// Figure 5 plots these curves for naive vs OPS).
+type PathPoint struct {
+	I, J int
+}
+
+// Executor searches a sequence for all pattern occurrences.
+type Executor interface {
+	// FindAll returns all matches in seq under the executor's policy,
+	// along with the search statistics.
+	FindAll(seq []storage.Row) ([]Match, Stats)
+	// Name identifies the executor in benchmark output.
+	Name() string
+}
+
+// evaluator wraps shared evaluation machinery: predicate dispatch,
+// statistics, optional path tracing, and cross-condition binding setup.
+type evaluator struct {
+	p     *pattern.Pattern
+	stats Stats
+	trace []PathPoint
+	doTrc bool
+	ctx   pattern.EvalContext
+}
+
+func newEvaluator(p *pattern.Pattern) evaluator {
+	return evaluator{p: p, ctx: pattern.EvalContext{Bind: make([]pattern.Span, p.Len())}}
+}
+
+// eval tests pattern element j (1-based) against input tuple i (1-based)
+// and updates the counters.
+func (e *evaluator) eval(j, i int) bool {
+	e.stats.PredEvals++
+	if e.doTrc {
+		e.trace = append(e.trace, PathPoint{I: i, J: j})
+	}
+	e.ctx.Pos = i - 1
+	return e.p.EvalElem(j-1, &e.ctx)
+}
+
+// reset prepares for a new sequence.
+func (e *evaluator) reset(seq []storage.Row) {
+	e.ctx.Seq = seq
+	for k := range e.ctx.Bind {
+		e.ctx.Bind[k] = pattern.Span{}
+	}
+}
+
+func (e *evaluator) clearBinds() {
+	for k := range e.ctx.Bind {
+		e.ctx.Bind[k] = pattern.Span{}
+	}
+}
+
+// snapshotSpans copies the current bindings for a reported match.
+func (e *evaluator) snapshotSpans() []pattern.Span {
+	out := make([]pattern.Span, len(e.ctx.Bind))
+	copy(out, e.ctx.Bind)
+	return out
+}
+
+// Naive is the baseline executor: it attempts a fresh greedy match at
+// every start position, backing up to start+1 on failure. This is the
+// "naive search" of the paper's experiments.
+type Naive struct {
+	evaluator
+	policy SkipPolicy
+}
+
+// NewNaive builds a naive executor.
+func NewNaive(p *pattern.Pattern, policy SkipPolicy) *Naive {
+	return &Naive{evaluator: newEvaluator(p), policy: policy}
+}
+
+// Name implements Executor.
+func (n *Naive) Name() string { return "naive" }
+
+// Trace enables path recording (Figure 5); it must be called before
+// FindAll.
+func (n *Naive) Trace() { n.doTrc = true }
+
+// Path returns the recorded search path.
+func (n *Naive) Path() []PathPoint { return n.trace }
+
+// FindAll implements Executor.
+func (n *Naive) FindAll(seq []storage.Row) ([]Match, Stats) {
+	n.reset(seq)
+	n.stats = Stats{}
+	n.trace = n.trace[:0]
+	var out []Match
+	nn := len(seq)
+	for start := 1; start <= nn; start++ {
+		end, ok := n.matchAt(start, nn)
+		if !ok {
+			n.stats.Rollbacks++
+			continue
+		}
+		n.stats.Matches++
+		out = append(out, Match{Start: start - 1, End: end - 1, Spans: n.snapshotSpans()})
+		if n.policy == SkipPastLastRow {
+			start = end // loop increment moves to end+1
+		}
+	}
+	return out, n.stats
+}
+
+// matchAt attempts a greedy match beginning at 1-based position start,
+// returning the 1-based end position on success.
+func (n *Naive) matchAt(start, nn int) (int, bool) {
+	n.clearBinds()
+	i := start
+	m := n.p.Len()
+	for j := 1; j <= m; j++ {
+		if i > nn || !n.eval(j, i) {
+			return 0, false
+		}
+		n.ctx.Bind[j-1] = pattern.Span{Start: i - 1, End: i - 1, Set: true}
+		i++
+		if n.p.Elems[j-1].Star {
+			for i <= nn && n.eval(j, i) {
+				n.ctx.Bind[j-1].End = i - 1
+				i++
+			}
+		}
+	}
+	return i - 1, true
+}

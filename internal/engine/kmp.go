@@ -1,0 +1,126 @@
+package engine
+
+// Classic Knuth–Morris–Pratt string matching, exactly as presented in the
+// paper's §3.1 (which follows Knuth, Morris & Pratt 1977). The OPS
+// algorithm generalizes this; keeping the original alongside lets the
+// tests show that OPS specializes back to KMP on constant-equality
+// patterns, and reproduces the paper's worked trace tables.
+
+// borders computes the prefix (border) function: b[l] = length of the
+// longest proper border of pat[:l], for 1 ≤ l ≤ len(pat); b[0] = 0.
+func borders(pat string) []int {
+	m := len(pat)
+	b := make([]int, m+1)
+	k := 0
+	for q := 2; q <= m; q++ {
+		for k > 0 && pat[k] != pat[q-1] {
+			k = b[k]
+		}
+		if pat[k] == pat[q-1] {
+			k++
+		}
+		b[q] = k
+	}
+	return b
+}
+
+// KMPNext computes the paper's next array (1-based; next[0] unused):
+//
+//	next(j) = the largest k, 0 < k < j, with p_k ≠ p_j and
+//	          p_1..p_{k-1} = p_{j-k+1}..p_{j-1}; 0 if none exists.
+//
+// This is the "strong" failure function: the p_k ≠ p_j condition skips
+// resumption points that would repeat the very comparison that just
+// failed.
+func KMPNext(pat string) []int {
+	m := len(pat)
+	next := make([]int, m+1)
+	if m == 0 {
+		return next
+	}
+	b := borders(pat)
+	// Weak resumption index f[j] = b[j-1] + 1 (resume comparing p_f with
+	// the failed text character); strengthen with the p_k ≠ p_j rule.
+	next[1] = 0
+	for j := 2; j <= m; j++ {
+		f := b[j-1] + 1
+		if pat[f-1] != pat[j-1] {
+			next[j] = f
+		} else {
+			next[j] = next[f]
+		}
+	}
+	return next
+}
+
+// KMPResult reports a KMP search: 0-based match start positions, the
+// number of character comparisons, and (when traced) the path of (i, j)
+// cursor pairs at each comparison.
+type KMPResult struct {
+	Matches     []int
+	Comparisons int64
+	Path        []PathPoint
+}
+
+// KMPSearch finds all (possibly overlapping) occurrences of pat in text
+// with the paper's KMP algorithm, counting character comparisons.
+func KMPSearch(pat, text string, trace bool) KMPResult {
+	var res KMPResult
+	m, n := len(pat), len(text)
+	if m == 0 || n < m {
+		return res
+	}
+	next := KMPNext(pat)
+	border := borders(pat)[m] // longest proper border of the full pattern
+	i, j := 1, 1
+	for i <= n {
+		res.Comparisons++
+		if trace {
+			res.Path = append(res.Path, PathPoint{I: i, J: j})
+		}
+		if text[i-1] == pat[j-1] {
+			i++
+			j++
+			if j > m {
+				res.Matches = append(res.Matches, i-m-1)
+				// Continue searching for overlapping occurrences by
+				// resuming at the longest border of the whole pattern.
+				j = border + 1
+			}
+			continue
+		}
+		j = next[j]
+		if j == 0 {
+			i++
+			j = 1
+		}
+	}
+	return res
+}
+
+// NaiveStringSearch is the baseline the paper's §3.1 contrasts with KMP:
+// restart at start+1 after every mismatch.
+func NaiveStringSearch(pat, text string, trace bool) KMPResult {
+	var res KMPResult
+	m, n := len(pat), len(text)
+	if m == 0 || n < m {
+		return res
+	}
+	for s := 0; s+m <= n; s++ {
+		ok := true
+		for j := 0; j < m; j++ {
+			res.Comparisons++
+			if trace {
+				res.Path = append(res.Path, PathPoint{I: s + j + 1, J: j + 1})
+			}
+			if text[s+j] != pat[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Matches = append(res.Matches, s)
+		}
+	}
+	return res
+}

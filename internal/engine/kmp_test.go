@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestKMPNextKnuthExample asserts the next array for the paper's §3.1
+// pattern abcabcacab, whose strong failure function is the classic worked
+// example from Knuth, Morris & Pratt 1977.
+func TestKMPNextKnuthExample(t *testing.T) {
+	got := KMPNext("abcabcacab")
+	want := []int{0, 0, 1, 1, 0, 1, 1, 0, 5, 0, 1} // index 0 unused
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for j := 1; j < len(want); j++ {
+		if got[j] != want[j] {
+			t.Errorf("next(%d) = %d, want %d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestKMPPaperTrace follows the paper's two §3.1 trace tables: the first
+// mismatch at (i=4, j=4) resumes at (i=5, j=1) — next(4) = 0 advances the
+// input cursor — and the mismatch at (i=12, j=8) resumes at (i=12, j=5)
+// without moving the input cursor.
+func TestKMPPaperTrace(t *testing.T) {
+	text := "abcbabcabcaabcabc" // the 17 characters shown in the tables
+	res := KMPSearch("abcabcacab", text, true)
+
+	at := func(step int) PathPoint {
+		if step >= len(res.Path) {
+			t.Fatalf("trace has only %d steps", len(res.Path))
+		}
+		return res.Path[step]
+	}
+	// Steps 0..3: (1,1) (2,2) (3,3) (4,4) — mismatch at the arrow.
+	for s := 0; s < 4; s++ {
+		if at(s) != (PathPoint{I: s + 1, J: s + 1}) {
+			t.Fatalf("step %d = %+v, want (%d,%d)", s, at(s), s+1, s+1)
+		}
+	}
+	// Step 4: resume at (5,1): next(4)=0 advanced the input past t4.
+	if at(4) != (PathPoint{I: 5, J: 1}) {
+		t.Fatalf("step 4 = %+v, want (5,1)", at(4))
+	}
+	// Steps 4..11 match t5..t11 with p1..p7, then t12 vs p8 mismatches.
+	if at(11) != (PathPoint{I: 12, J: 8}) {
+		t.Fatalf("step 11 = %+v, want (12,8)", at(11))
+	}
+	// Resume comparing p5 to t12 (shift of four, input cursor unmoved).
+	if at(12) != (PathPoint{I: 12, J: 5}) {
+		t.Fatalf("step 12 = %+v, want (12,5)", at(12))
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("unexpected matches %v in the truncated text", res.Matches)
+	}
+}
+
+// TestKMPFindsPaperMatch extends the text so the pattern occurs and
+// checks the occurrence is reported at the right position.
+func TestKMPFindsPaperMatch(t *testing.T) {
+	text := "babcbabcabcaabcabcabcacabc" // Knuth's full example text
+	res := KMPSearch("abcabcacab", text, false)
+	if len(res.Matches) != 1 || res.Matches[0] != 15 {
+		t.Fatalf("matches = %v, want [15]", res.Matches)
+	}
+	if text[15:25] != "abcabcacab" {
+		t.Fatal("self-check failed: expected occurrence not at 15")
+	}
+}
+
+// TestKMPAgainstNaiveRandom: property test — KMP and the naive scan agree
+// on all (overlapping) occurrences over random small-alphabet strings,
+// and KMP never exceeds the 2n comparison bound.
+func TestKMPAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	alphabet := "ab"
+	for trial := 0; trial < 2000; trial++ {
+		m := 1 + r.Intn(6)
+		n := r.Intn(60)
+		pat := randString(r, alphabet, m)
+		text := randString(r, alphabet, n)
+		k := KMPSearch(pat, text, false)
+		nv := NaiveStringSearch(pat, text, false)
+		if !equalInts(k.Matches, nv.Matches) {
+			t.Fatalf("pat=%q text=%q: kmp %v vs naive %v", pat, text, k.Matches, nv.Matches)
+		}
+		if k.Comparisons > 2*int64(n)+1 {
+			t.Fatalf("pat=%q text=%q: %d comparisons exceeds 2n bound", pat, text, k.Comparisons)
+		}
+	}
+}
+
+// TestKMPNextProperties checks the defining properties of next(j) on
+// random patterns: next(j) < j, p_{next(j)} ≠ p_j when next(j) > 0, and
+// the prefix-overlap equation holds.
+func TestKMPNextProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		pat := randString(r, "abc", 1+r.Intn(12))
+		next := KMPNext(pat)
+		for j := 1; j <= len(pat); j++ {
+			k := next[j]
+			if k >= j {
+				t.Fatalf("pat=%q: next(%d)=%d not < j", pat, j, k)
+			}
+			if k == 0 {
+				continue
+			}
+			if pat[k-1] == pat[j-1] {
+				t.Fatalf("pat=%q: next(%d)=%d but p_k == p_j", pat, j, k)
+			}
+			for s := 1; s < k; s++ {
+				if pat[s-1] != pat[j-k+s-1] {
+					t.Fatalf("pat=%q: next(%d)=%d violates prefix equation at s=%d", pat, j, k, s)
+				}
+			}
+		}
+	}
+}
+
+// TestKMPNextIsLargestValidK: next(j) must be the largest k satisfying the
+// definition (checked brute-force).
+func TestKMPNextIsLargestValidK(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		pat := randString(r, "ab", 1+r.Intn(10))
+		next := KMPNext(pat)
+		for j := 1; j <= len(pat); j++ {
+			want := 0
+			for k := j - 1; k >= 1; k-- {
+				if pat[k-1] == pat[j-1] {
+					continue
+				}
+				ok := true
+				for s := 1; s < k; s++ {
+					if pat[s-1] != pat[j-k+s-1] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					want = k
+					break
+				}
+			}
+			if next[j] != want {
+				t.Fatalf("pat=%q: next(%d)=%d, brute force says %d", pat, j, next[j], want)
+			}
+		}
+	}
+}
+
+func TestKMPEdgeCases(t *testing.T) {
+	if res := KMPSearch("", "abc", false); len(res.Matches) != 0 || res.Comparisons != 0 {
+		t.Error("empty pattern should match nothing")
+	}
+	if res := KMPSearch("abcd", "abc", false); len(res.Matches) != 0 {
+		t.Error("pattern longer than text should match nothing")
+	}
+	if res := KMPSearch("aaa", "aaaaa", false); !equalInts(res.Matches, []int{0, 1, 2}) {
+		t.Errorf("overlapping matches = %v, want [0 1 2]", res.Matches)
+	}
+	if res := NaiveStringSearch("aaa", "aaaaa", false); !equalInts(res.Matches, []int{0, 1, 2}) {
+		t.Errorf("naive overlapping matches = %v, want [0 1 2]", res.Matches)
+	}
+	if res := KMPSearch("x", strings.Repeat("x", 5), false); len(res.Matches) != 5 {
+		t.Errorf("single-char pattern found %d matches, want 5", len(res.Matches))
+	}
+}
+
+func randString(r *rand.Rand, alphabet string, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"sqlts/internal/core"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// OPSConfig configures an OPS executor.
+type OPSConfig struct {
+	Policy SkipPolicy
+	// ShiftOnly disables the next() table (every resumption re-checks from
+	// pattern element 1) while keeping shift(); it measures how much of
+	// the win comes from not re-checking known-true prefixes (ablation).
+	ShiftOnly bool
+	// NoCounters disables the §5 count[] rollback for star patterns and
+	// restarts naively one past the failed attempt's start (ablation).
+	NoCounters bool
+	// LastRowSkip enables the reproduction's extension to the star
+	// runtime: when the compile-time walk proves the failed tuple
+	// satisfies the plain element it rolls back to (core.Tables.SkipOK),
+	// consume it without re-testing — the star analogue of the plain
+	// pattern's next = j-shift+1 case.
+	LastRowSkip bool
+}
+
+// OPS is the optimized executor driven by the compile-time shift/next
+// tables: the paper's Optimized Pattern Search algorithm (§4.2.1 for
+// plain patterns, §5 for patterns with star elements).
+type OPS struct {
+	evaluator
+	tables *core.Tables
+	cfg    OPSConfig
+	count  []int
+}
+
+// NewOPS builds an OPS executor for a pattern and its computed tables.
+func NewOPS(p *pattern.Pattern, tables *core.Tables, cfg OPSConfig) *OPS {
+	return &OPS{
+		evaluator: newEvaluator(p),
+		tables:    tables,
+		cfg:       cfg,
+		count:     make([]int, p.Len()+1),
+	}
+}
+
+// Name implements Executor.
+func (o *OPS) Name() string {
+	switch {
+	case o.cfg.ShiftOnly:
+		return "ops-shift-only"
+	case o.cfg.NoCounters:
+		return "ops-no-counters"
+	case o.cfg.LastRowSkip:
+		return "ops+skip"
+	default:
+		return "ops"
+	}
+}
+
+// Trace enables path recording (Figure 5); call before FindAll.
+func (o *OPS) Trace() { o.doTrc = true }
+
+// Path returns the recorded search path.
+func (o *OPS) Path() []PathPoint { return o.trace }
+
+func (o *OPS) shiftNext(j int) (int, int) {
+	sh, nx := o.tables.Shift[j], o.tables.Next[j]
+	if o.cfg.ShiftOnly && nx > 1 {
+		nx = 1
+	}
+	return sh, nx
+}
+
+// FindAll implements Executor.
+func (o *OPS) FindAll(seq []storage.Row) ([]Match, Stats) {
+	o.reset(seq)
+	o.stats = Stats{}
+	o.trace = o.trace[:0]
+	if o.tables.HasStar {
+		return o.findAllStar(seq)
+	}
+	return o.findAllPlain(seq)
+}
+
+// evalPlain evaluates element j at input i, materializing the implicit
+// single-tuple bindings first when the element has cross conditions.
+func (o *OPS) evalPlain(j, i int) bool {
+	if o.p.Elems[j-1].HasCross() {
+		for k := 1; k < j; k++ {
+			pos := i - j + k - 1 // 0-based input index of element k
+			o.ctx.Bind[k-1] = pattern.Span{Start: pos, End: pos, Set: true}
+		}
+	}
+	return o.eval(j, i)
+}
+
+// findAllPlain is the §4.2.1 algorithm extended to report every match
+// under the skip policy. Indexes i (input) and j (pattern) are 1-based as
+// in the paper.
+func (o *OPS) findAllPlain(seq []storage.Row) ([]Match, Stats) {
+	var out []Match
+	nn := len(seq)
+	m := o.p.Len()
+	i, j := 1, 1
+	for i <= nn && j <= m {
+		if o.evalPlain(j, i) {
+			i++
+			j++
+			if j <= m {
+				continue
+			}
+			// Success: t[i-m .. i-1] (1-based) matches.
+			start := i - m
+			spans := make([]pattern.Span, m)
+			for k := 0; k < m; k++ {
+				spans[k] = pattern.Span{Start: start + k - 1, End: start + k - 1, Set: true}
+			}
+			out = append(out, Match{Start: start - 1, End: i - 2, Spans: spans})
+			o.stats.Matches++
+			if o.cfg.Policy == SkipToNextRow {
+				i = start + 1
+			}
+			j = 1
+			continue
+		}
+		// Mismatch at (i, j): apply the shift/next tables.
+		o.stats.Rollbacks++
+		sh, nx := o.shiftNext(j)
+		i = i - j + sh + nx
+		j = nx
+		if j == 0 {
+			i++
+			j = 1
+		}
+	}
+	return out, o.stats
+}
+
+// findAllStar is the §5 star runtime: a per-element cumulative counter
+// array count[] tracks how many input tuples each element consumed, and
+// mismatch rollback resumes at i - count[j-1] + count[shift+next-1] with
+// the counters (and bindings) re-based onto the shifted alignment.
+func (o *OPS) findAllStar(seq []storage.Row) ([]Match, Stats) {
+	var out []Match
+	nn := len(seq)
+	m := o.p.Len()
+	star := o.tables.Star
+	count := o.count
+	count[0] = 0
+
+	i, j, inElem := 1, 1, 0
+	o.clearBinds()
+
+	record := func() (start int) {
+		start = i - count[m] // 1-based first tuple of the match
+		out = append(out, Match{Start: start - 1, End: i - 2, Spans: o.snapshotSpans()})
+		o.stats.Matches++
+		return start
+	}
+	restart := func(at int) {
+		i = at
+		j = 1
+		inElem = 0
+		o.clearBinds()
+	}
+
+	for {
+		if j > m {
+			start := record()
+			if o.cfg.Policy == SkipToNextRow {
+				restart(start + 1)
+			} else {
+				restart(i)
+			}
+			continue
+		}
+		if i > nn {
+			// Input exhausted. If the last element is a satisfied star,
+			// the match is complete; otherwise no later attempt can
+			// finish either (greedy element boundaries are monotone in
+			// the start position), so the search ends.
+			if j == m && star[m] && inElem > 0 {
+				start := record()
+				if o.cfg.Policy == SkipToNextRow && start+1 <= nn {
+					restart(start + 1)
+					continue
+				}
+			}
+			break
+		}
+		if o.eval(j, i) {
+			if inElem == 0 {
+				o.ctx.Bind[j-1] = pattern.Span{Start: i - 1, End: i - 1, Set: true}
+			} else {
+				o.ctx.Bind[j-1].End = i - 1
+			}
+			i++
+			inElem++
+			count[j] = count[j-1] + inElem
+			if !star[j] {
+				j++
+				inElem = 0
+			}
+			continue
+		}
+		if star[j] && inElem > 0 {
+			// The star ran its course; the same tuple starts the next
+			// element (§5 mismatch rule 1; see DESIGN.md on the cursor
+			// wording).
+			j++
+			inElem = 0
+			continue
+		}
+		// §5 mismatch rule 2: roll back via the tables. At this point the
+		// current element has consumed nothing, so i sits at the start of
+		// element j's would-be span.
+		o.stats.Rollbacks++
+		if o.cfg.NoCounters {
+			restart(i - count[j-1] + 1)
+			continue
+		}
+		sh, nx := o.shiftNext(j)
+		if nx == 0 {
+			// shift(j) = j: φ[j][1] = 0 rules out a start at the failed
+			// tuple itself, so the next attempt begins one past it.
+			restart(i + 1)
+			continue
+		}
+		skip := o.cfg.LastRowSkip && !o.cfg.ShiftOnly && o.tables.SkipOK[j]
+		newi := i - count[j-1] + count[sh+nx-1]
+		base := count[sh]
+		for t := 1; t <= nx-1; t++ {
+			count[t] = count[sh+t] - base
+			o.ctx.Bind[t-1] = o.ctx.Bind[sh+t-1]
+		}
+		for t := nx; t <= m; t++ {
+			o.ctx.Bind[t-1] = pattern.Span{}
+		}
+		i = newi
+		j = nx
+		inElem = 0
+		if skip {
+			// The failed tuple (at the rolled-back cursor) certainly
+			// satisfies the plain element nx: consume it unexamined.
+			o.ctx.Bind[j-1] = pattern.Span{Start: i - 1, End: i - 1, Set: true}
+			count[j] = count[j-1] + 1
+			i++
+			j++
+			if j > m {
+				// A skip can complete the pattern outright.
+				continue
+			}
+		}
+	}
+	return out, o.stats
+}

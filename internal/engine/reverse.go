@@ -1,0 +1,45 @@
+package engine
+
+import "sqlts/internal/storage"
+
+// ReverseRows returns a reversed copy of the sequence, for the §8
+// reverse-direction search (run the reversed pattern over the reversed
+// sequence, then map matches back with MapReverseMatch).
+func ReverseRows(seq []storage.Row) []storage.Row {
+	out := make([]storage.Row, len(seq))
+	for i, r := range seq {
+		out[len(seq)-1-i] = r
+	}
+	return out
+}
+
+// MapReverseMatch converts a match found on the reversed sequence back to
+// forward coordinates over a sequence of length n. Element spans are
+// mirrored and re-ordered so Spans[k] again describes the k-th forward
+// pattern element.
+func MapReverseMatch(mt Match, n int) Match {
+	out := Match{
+		Start: n - 1 - mt.End,
+		End:   n - 1 - mt.Start,
+	}
+	if mt.Spans != nil {
+		out.Spans = make([]Span, len(mt.Spans))
+		for k, s := range mt.Spans {
+			fwd := len(mt.Spans) - 1 - k
+			if s.Set {
+				out.Spans[fwd] = Span{Start: n - 1 - s.End, End: n - 1 - s.Start, Set: true}
+			}
+		}
+	}
+	return out
+}
+
+// MapReverseMatches applies MapReverseMatch to a batch and restores
+// ascending start order.
+func MapReverseMatches(ms []Match, n int) []Match {
+	out := make([]Match, len(ms))
+	for i, mt := range ms {
+		out[len(ms)-1-i] = MapReverseMatch(mt, n)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlts/internal/core"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// StreamConfig configures an incremental matcher.
+type StreamConfig struct {
+	Policy SkipPolicy
+	// LastRowSkip enables the last-row-skip extension (see OPSConfig).
+	LastRowSkip bool
+	// MaxBuffer bounds the retained window (0 = unbounded). When an
+	// in-progress match would exceed it, the attempt is abandoned and
+	// the search restarts past the window — a safety valve for patterns
+	// whose stars can run forever on adversarial input.
+	MaxBuffer int
+}
+
+// Streamer is the incremental (push-based) OPS matcher: tuples arrive one
+// at a time and matches are emitted as soon as they complete. It retains
+// only the window from just before the current match attempt's start, so
+// memory is proportional to the longest live match attempt, not to the
+// stream. This is the paper's continuous-query deployment (§6 runs
+// SQL-TS "on input streams" via user-defined aggregates), with the same
+// shift/next optimization applied incrementally.
+type Streamer struct {
+	p     *pattern.Pattern
+	t     *core.Tables
+	cfg   StreamConfig
+	emit  func(Match)
+	stats Stats
+
+	buf  []storage.Row
+	base int // global 0-based index of buf[0]
+
+	// Machine state; i is the 1-based global input cursor, j the 1-based
+	// pattern cursor, per the paper's presentation. Binds in ctx are
+	// buffer-relative while evaluating and adjusted at emission.
+	i, j, inElem int
+	count        []int
+	ctx          pattern.EvalContext
+	closed       bool
+}
+
+// NewStreamer builds an incremental matcher for the pattern. emit is
+// called synchronously from Push/Flush for every completed match, with
+// global (whole-stream) coordinates.
+func NewStreamer(p *pattern.Pattern, cfg StreamConfig, emit func(Match)) *Streamer {
+	s := &Streamer{
+		p:     p,
+		t:     core.ComputeForStream(p),
+		cfg:   cfg,
+		emit:  emit,
+		i:     1,
+		j:     1,
+		count: make([]int, p.Len()+1),
+	}
+	s.ctx.Bind = make([]pattern.Span, p.Len())
+	return s
+}
+
+func (s *Streamer) evalAt(j, i int) bool {
+	s.stats.PredEvals++
+	s.ctx.Seq = s.buf
+	s.ctx.Pos = i - 1 - s.base
+	return s.p.EvalElem(j-1, &s.ctx)
+}
+
+// Stats returns the accumulated runtime counters.
+func (s *Streamer) Stats() Stats { return s.stats }
+
+// BufferLen reports the currently retained window size (for tests and
+// monitoring).
+func (s *Streamer) BufferLen() int { return len(s.buf) }
+
+// Window exposes the retained tuples and the global 0-based index of the
+// first one. Inside an emit callback the window still covers the
+// completed match (pruning happens after the machine settles), so output
+// expressions can be evaluated against it.
+func (s *Streamer) Window() ([]storage.Row, int) { return s.buf, s.base }
+
+// matchStart returns the 1-based global start of the current attempt.
+func (s *Streamer) matchStart() int {
+	return s.i - s.count[s.j-1] - s.inElem
+}
+
+// Push appends one tuple and advances the machine as far as the input
+// allows, emitting any matches that complete.
+func (s *Streamer) Push(row storage.Row) error {
+	if s.closed {
+		return fmt.Errorf("engine: Push after Flush")
+	}
+	s.buf = append(s.buf, row)
+	s.drain()
+	s.prune()
+	return nil
+}
+
+// PushAll pushes a batch of tuples.
+func (s *Streamer) PushAll(rows []storage.Row) error {
+	for _, r := range rows {
+		if err := s.Push(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush signals end of stream: a satisfied trailing star element
+// completes its match. The streamer cannot be pushed to afterwards.
+func (s *Streamer) Flush() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	m := s.p.Len()
+	star := s.t.Star
+	for {
+		s.drain() // returns only when i is past the available input
+		n := s.base + len(s.buf)
+		if s.j == m && star[m] && s.inElem > 0 {
+			// A satisfied trailing star completes at end of stream.
+			start := s.record()
+			if s.cfg.Policy == SkipToNextRow && start+1 <= n {
+				s.restart(start + 1)
+				continue
+			}
+		}
+		// Greedy element boundaries are monotone in the start position,
+		// so once the input exhausts mid-attempt no later attempt can
+		// complete either (same argument as the batch executor).
+		break
+	}
+}
+
+// record emits the completed match (elements 1..m all satisfied; i one
+// past the last consumed tuple) and returns its 1-based global start.
+// Bind spans are buffer-relative internally; the emitted match carries
+// global coordinates.
+func (s *Streamer) record() int {
+	m := s.p.Len()
+	start := s.i - s.count[m]
+	spans := make([]pattern.Span, m)
+	for k, sp := range s.ctx.Bind {
+		if sp.Set {
+			spans[k] = pattern.Span{Start: sp.Start + s.base, End: sp.End + s.base, Set: true}
+		}
+	}
+	s.stats.Matches++
+	s.emit(Match{Start: start - 1, End: s.i - 2, Spans: spans})
+	return start
+}
+
+func (s *Streamer) restart(at int) {
+	s.i = at
+	s.j = 1
+	s.inElem = 0
+	for k := range s.ctx.Bind {
+		s.ctx.Bind[k] = pattern.Span{}
+	}
+}
+
+// drain runs the §5 machine while input is available.
+func (s *Streamer) drain() {
+	m := s.p.Len()
+	star := s.t.Star
+	count := s.count
+	n := func() int { return s.base + len(s.buf) }
+
+	for {
+		if s.j > m {
+			start := s.record()
+			if s.cfg.Policy == SkipToNextRow {
+				s.restart(start + 1)
+			} else {
+				s.restart(s.i)
+			}
+			continue
+		}
+		if s.i > n() {
+			return // need more input (or Flush)
+		}
+		if s.cfg.MaxBuffer > 0 && s.i-s.matchStart() >= s.cfg.MaxBuffer {
+			// Safety valve: abandon the oversized attempt.
+			s.restart(s.i + 1)
+			continue
+		}
+		if s.evalAt(s.j, s.i) {
+			rel := s.i - 1 - s.base // buffer-relative index of the tuple
+			if s.inElem == 0 {
+				s.ctx.Bind[s.j-1] = pattern.Span{Start: rel, End: rel, Set: true}
+			} else {
+				s.ctx.Bind[s.j-1].End = rel
+			}
+			s.i++
+			s.inElem++
+			count[s.j] = count[s.j-1] + s.inElem
+			if !star[s.j] {
+				s.j++
+				s.inElem = 0
+			}
+			continue
+		}
+		if star[s.j] && s.inElem > 0 {
+			s.j++
+			s.inElem = 0
+			continue
+		}
+		// Rollback via the tables (identical to the batch executor).
+		s.stats.Rollbacks++
+		sh, nx := s.t.Shift[s.j], s.t.Next[s.j]
+		if nx == 0 {
+			s.restart(s.i + 1)
+			continue
+		}
+		skip := s.cfg.LastRowSkip && s.t.SkipOK[s.j]
+		newi := s.i - count[s.j-1] + count[sh+nx-1]
+		base := count[sh]
+		for t := 1; t <= nx-1; t++ {
+			count[t] = count[sh+t] - base
+			s.ctx.Bind[t-1] = s.ctx.Bind[sh+t-1]
+		}
+		for t := nx; t <= m; t++ {
+			s.ctx.Bind[t-1] = pattern.Span{}
+		}
+		s.i = newi
+		s.j = nx
+		s.inElem = 0
+		if skip {
+			rel := s.i - 1 - s.base
+			s.ctx.Bind[s.j-1] = pattern.Span{Start: rel, End: rel, Set: true}
+			count[s.j] = count[s.j-1] + 1
+			s.i++
+			s.j++
+		}
+	}
+}
+
+// prune drops buffer entries before (match start - 1); the extra tuple
+// keeps predecessor references valid at the attempt's first position.
+// Buffer-relative bind spans are rebased.
+func (s *Streamer) prune() {
+	keepFrom := s.matchStart() - 2 // global 0-based index to retain
+	if keepFrom <= s.base {
+		return
+	}
+	drop := keepFrom - s.base
+	if drop >= len(s.buf) {
+		drop = len(s.buf)
+	}
+	s.buf = append(s.buf[:0], s.buf[drop:]...)
+	s.base += drop
+	for k := range s.ctx.Bind {
+		if s.ctx.Bind[k].Set {
+			s.ctx.Bind[k].Start -= drop
+			s.ctx.Bind[k].End -= drop
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlts/internal/constraint"
+	"sqlts/internal/core"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// collectStream runs a streamer over a sequence one tuple at a time.
+func collectStream(t testing.TB, p *pattern.Pattern, cfg StreamConfig, seq []storage.Row) ([]Match, *Streamer) {
+	t.Helper()
+	var out []Match
+	s := NewStreamer(p, cfg, func(m Match) { out = append(out, m) })
+	for _, r := range seq {
+		if err := s.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	return out, s
+}
+
+// TestStreamEquivalenceRandom: pushing tuples one at a time must produce
+// exactly the batch executor's matches (which equal naive's), with
+// pruning active throughout.
+func TestStreamEquivalenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	trials := 2500
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
+		var p *pattern.Pattern
+		if trial%2 == 0 {
+			p = structuredPattern(t, r, pattern.Options{MissingPrevTrue: trial%4 == 0})
+		} else {
+			p = randPattern(t, r, true, pattern.Options{})
+		}
+		seq := walkSeq(r, 20+r.Intn(150))
+		for _, policy := range []SkipPolicy{SkipPastLastRow, SkipToNextRow} {
+			nm, _ := NewNaive(p, policy).FindAll(seq)
+			sm, _ := collectStream(t, p, StreamConfig{Policy: policy}, seq)
+			if !matchesEqual(nm, sm) {
+				t.Fatalf("trial %d (policy %s): stream diverged\npattern %s\nnaive:  %s\nstream: %s\nseq: %v",
+					trial, policy, explain(p), fmtMatches(nm), fmtMatches(sm), seqVals(seq))
+			}
+			// With the skip extension too.
+			km, _ := collectStream(t, p, StreamConfig{Policy: policy, LastRowSkip: true}, seq)
+			if !matchesEqual(nm, km) {
+				t.Fatalf("trial %d (policy %s): stream+skip diverged\npattern %s\nnaive:  %s\nstream: %s",
+					trial, policy, explain(p), fmtMatches(nm), fmtMatches(km))
+			}
+		}
+	}
+}
+
+// TestStreamEvalCountMatchesBatch: the incremental machine performs the
+// same predicate evaluations as the batch star executor on star
+// patterns.
+func TestStreamEvalCountMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		p := structuredPattern(t, r, pattern.Options{})
+		if !core.Compute(p).HasStar {
+			continue
+		}
+		seq := walkSeq(r, 50+r.Intn(100))
+		_, bs := NewOPS(p, core.ComputeForStream(p), OPSConfig{Policy: SkipPastLastRow}).FindAll(seq)
+		sm := NewStreamer(p, StreamConfig{}, func(Match) {})
+		for _, row := range seq {
+			if err := sm.Push(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sm.Flush()
+		if sm.Stats().PredEvals != bs.PredEvals {
+			t.Fatalf("trial %d: stream evals %d != batch evals %d\npattern %s",
+				trial, sm.Stats().PredEvals, bs.PredEvals, explain(p))
+		}
+	}
+}
+
+// TestStreamPruning: on a long stream with short matches the retained
+// buffer stays small.
+func TestStreamPruning(t *testing.T) {
+	schema := priceSchema()
+	b := pattern.NewBuilder(schema)
+	p := b.Elem("X", b.CmpPrev("price", constraint.Lt)).
+		Elem("Y", b.CmpPrev("price", constraint.Gt)).
+		MustBuild()
+	r := rand.New(rand.NewSource(9))
+	maxBuf := 0
+	s := NewStreamer(p, StreamConfig{}, func(Match) {})
+	for i := 0; i < 100000; i++ {
+		if err := s.Push(storage.Row{storage.NewFloat(float64(1 + r.Intn(50)))}); err != nil {
+			t.Fatal(err)
+		}
+		if s.BufferLen() > maxBuf {
+			maxBuf = s.BufferLen()
+		}
+	}
+	s.Flush()
+	if maxBuf > 8 {
+		t.Errorf("buffer grew to %d for a 2-element pattern", maxBuf)
+	}
+	if s.Stats().Matches == 0 {
+		t.Error("expected matches on the random stream")
+	}
+}
+
+// TestStreamTrailingStar: a match completed only by end-of-stream is
+// emitted by Flush, not before.
+func TestStreamTrailingStar(t *testing.T) {
+	schema := priceSchema()
+	b := pattern.NewBuilder(schema).WithOptions(pattern.Options{MissingPrevTrue: true})
+	p := b.Star("U", b.CmpPrev("price", constraint.Gt)).MustBuild()
+
+	var got []Match
+	s := NewStreamer(p, StreamConfig{}, func(m Match) { got = append(got, m) })
+	for _, v := range []float64{1, 2, 3, 4} {
+		if err := s.Push(storage.Row{storage.NewFloat(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatalf("match emitted before Flush: %v", got)
+	}
+	s.Flush()
+	if len(got) != 1 || got[0].Start != 0 || got[0].End != 3 {
+		t.Fatalf("trailing match = %s", fmtMatches(got))
+	}
+	if err := s.Push(storage.Row{storage.NewFloat(5)}); err == nil {
+		t.Error("Push after Flush should fail")
+	}
+	s.Flush() // second Flush is a no-op
+	if len(got) != 1 {
+		t.Error("second Flush changed output")
+	}
+}
+
+// TestStreamMaxBuffer: the safety valve bounds memory on adversarial
+// input (an endless star run) at the cost of missing oversized matches.
+func TestStreamMaxBuffer(t *testing.T) {
+	schema := priceSchema()
+	b := pattern.NewBuilder(schema)
+	p := b.Star("A", b.CmpConst("price", pattern.Cur, constraint.Gt, 0)).
+		Elem("B", b.CmpConst("price", pattern.Cur, constraint.Lt, 0)).
+		MustBuild()
+	s := NewStreamer(p, StreamConfig{MaxBuffer: 64}, func(Match) {})
+	for i := 0; i < 50000; i++ {
+		if err := s.Push(storage.Row{storage.NewFloat(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if s.BufferLen() > 80 {
+			t.Fatalf("buffer %d exceeds MaxBuffer headroom at tuple %d", s.BufferLen(), i)
+		}
+	}
+	s.Flush()
+}
+
+// TestStreamCrossConditions: cross conditions see consistent buffer
+// coordinates even after pruning.
+func TestStreamCrossConditions(t *testing.T) {
+	schema := priceSchema()
+	b := pattern.NewBuilder(schema)
+	b.Elem("X", b.CmpPrev("price", constraint.Lt)).
+		Star("Y", b.CmpPrev("price", constraint.Le)).
+		Elem("Z", b.CmpPrev("price", constraint.Gt)).
+		CrossOn("Z.price > X.price", func(ctx *pattern.EvalContext) bool {
+			x := ctx.Bind[0]
+			return x.Set && ctx.Seq[ctx.Pos][0].Float() > ctx.Seq[x.Start][0].Float()
+		})
+	p := b.MustBuild()
+
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		seq := walkSeq(r, 30+r.Intn(100))
+		nm, _ := NewNaive(p, SkipPastLastRow).FindAll(seq)
+		sm, _ := collectStream(t, p, StreamConfig{}, seq)
+		if !matchesEqual(nm, sm) {
+			t.Fatalf("trial %d: cross-condition stream diverged\nnaive:  %s\nstream: %s\nseq: %v",
+				trial, fmtMatches(nm), fmtMatches(sm), seqVals(seq))
+		}
+	}
+}

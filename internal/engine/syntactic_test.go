@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlts/internal/core"
+	"sqlts/internal/pattern"
+)
+
+// TestSyntacticTablesEquivalence: the syntactic-identity ablation tables
+// must still drive the OPS runtime to exactly the naive match set — they
+// may only be slower, never wrong.
+func TestSyntacticTablesEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	trials := 1500
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randPattern(t, r, trial%2 == 0, pattern.Options{})
+		tables := core.ComputeSyntactic(p)
+		full := core.Compute(p)
+		seq := randSeq(r, 10+r.Intn(50))
+		nm, ns := NewNaive(p, SkipPastLastRow).FindAll(seq)
+		om, os := NewOPS(p, tables, OPSConfig{Policy: SkipPastLastRow}).FindAll(seq)
+		fm, fs := NewOPS(p, full, OPSConfig{Policy: SkipPastLastRow}).FindAll(seq)
+		if !matchesEqual(nm, om) {
+			t.Fatalf("trial %d: syntactic tables wrong\npattern %s\nnaive: %s\nops: %s",
+				trial, explain(p), fmtMatches(nm), fmtMatches(om))
+		}
+		if !matchesEqual(nm, fm) {
+			t.Fatalf("trial %d: full tables wrong", trial)
+		}
+		if os.PredEvals > ns.PredEvals {
+			t.Fatalf("trial %d: syntactic OPS (%d) worse than naive (%d)", trial, os.PredEvals, ns.PredEvals)
+		}
+		if fs.PredEvals > os.PredEvals {
+			t.Fatalf("trial %d: full tables (%d evals) worse than syntactic (%d)", trial, fs.PredEvals, os.PredEvals)
+		}
+	}
+}
+
+// TestSyntacticOnIdenticalElements: for a pattern of identical constant
+// predicates, the syntactic tables recover full KMP-style behaviour.
+func TestSyntacticOnIdenticalElements(t *testing.T) {
+	s := priceSchema()
+	elems := []pattern.Element{
+		{Name: "A", Local: []pattern.Cond{pattern.FieldConst(0, pattern.Cur, 0, 1)}}, // price = 1
+		{Name: "B", Local: []pattern.Cond{pattern.FieldConst(0, pattern.Cur, 0, 1)}},
+		{Name: "C", Local: []pattern.Cond{pattern.FieldConst(0, pattern.Cur, 0, 2)}}, // price = 2
+	}
+	p, err := pattern.Compile(s, elems, pattern.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := core.ComputeSyntactic(p)
+	full := core.Compute(p)
+	// Identical elements 1 and 2: both analyses see θ21 = 1, so the
+	// shift/next tables agree.
+	for j := 1; j <= 3; j++ {
+		if syn.Shift[j] != full.Shift[j] {
+			t.Errorf("shift(%d): syntactic %d vs full %d", j, syn.Shift[j], full.Shift[j])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package logic implements the three-valued (Kleene) logic used by the
+// OPS optimizer of Sadri & Zaniolo (PODS 2001).
+//
+// The optimizer's precondition matrices θ and φ, and the shift matrix S
+// derived from them, take values in {1, 0, U}: certainly true, certainly
+// false, and unknown. Conjunction, disjunction and negation follow strong
+// Kleene semantics: ¬U = U, U ∧ 1 = U, U ∧ 0 = 0, U ∨ 0 = U, U ∨ 1 = 1.
+package logic
+
+import "fmt"
+
+// Value is a three-valued logic value.
+type Value uint8
+
+// The three logic values. False is the zero value so that freshly allocated
+// matrices start out all-false, matching the paper's convention that an
+// undefined entry can never enable a shift.
+const (
+	False   Value = iota // certainly false (paper: 0)
+	True                 // certainly true (paper: 1)
+	Unknown              // unknown (paper: U)
+)
+
+// FromBool converts a Go bool to a definite logic value.
+func FromBool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And returns the strong-Kleene conjunction v ∧ w.
+func (v Value) And(w Value) Value {
+	switch {
+	case v == False || w == False:
+		return False
+	case v == True && w == True:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Or returns the strong-Kleene disjunction v ∨ w.
+func (v Value) Or(w Value) Value {
+	switch {
+	case v == True || w == True:
+		return True
+	case v == False && w == False:
+		return False
+	default:
+		return Unknown
+	}
+}
+
+// Not returns the strong-Kleene negation ¬v (¬U = U).
+func (v Value) Not() Value {
+	switch v {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// IsTrue reports whether v is certainly true.
+func (v Value) IsTrue() bool { return v == True }
+
+// IsFalse reports whether v is certainly false.
+func (v Value) IsFalse() bool { return v == False }
+
+// IsUnknown reports whether v is the unknown value.
+func (v Value) IsUnknown() bool { return v == Unknown }
+
+// String renders the value the way the paper prints matrix entries.
+func (v Value) String() string {
+	switch v {
+	case True:
+		return "1"
+	case False:
+		return "0"
+	case Unknown:
+		return "U"
+	default:
+		return fmt.Sprintf("logic.Value(%d)", uint8(v))
+	}
+}
+
+// All folds And over vs; the empty conjunction is True.
+func All(vs ...Value) Value {
+	r := True
+	for _, v := range vs {
+		r = r.And(v)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// Any folds Or over vs; the empty disjunction is False.
+func Any(vs ...Value) Value {
+	r := False
+	for _, v := range vs {
+		r = r.Or(v)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}

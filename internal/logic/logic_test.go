@@ -1,0 +1,221 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTruthTables(t *testing.T) {
+	type bin struct {
+		a, b, want Value
+	}
+	ands := []bin{
+		{True, True, True}, {True, False, False}, {False, True, False},
+		{False, False, False}, {Unknown, True, Unknown}, {True, Unknown, Unknown},
+		{Unknown, False, False}, {False, Unknown, False}, {Unknown, Unknown, Unknown},
+	}
+	for _, c := range ands {
+		if got := c.a.And(c.b); got != c.want {
+			t.Errorf("%v And %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	ors := []bin{
+		{True, True, True}, {True, False, True}, {False, True, True},
+		{False, False, False}, {Unknown, True, True}, {True, Unknown, True},
+		{Unknown, False, Unknown}, {False, Unknown, Unknown}, {Unknown, Unknown, Unknown},
+	}
+	for _, c := range ors {
+		if got := c.a.Or(c.b); got != c.want {
+			t.Errorf("%v Or %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	nots := []struct{ a, want Value }{{True, False}, {False, True}, {Unknown, Unknown}}
+	for _, c := range nots {
+		if got := c.a.Not(); got != c.want {
+			t.Errorf("Not %v = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !True.IsTrue() || True.IsFalse() || True.IsUnknown() {
+		t.Error("True predicates wrong")
+	}
+	if False.IsTrue() || !False.IsFalse() || False.IsUnknown() {
+		t.Error("False predicates wrong")
+	}
+	if Unknown.IsTrue() || Unknown.IsFalse() || !Unknown.IsUnknown() {
+		t.Error("Unknown predicates wrong")
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	if True.String() != "1" || False.String() != "0" || Unknown.String() != "U" {
+		t.Error("String renderings wrong")
+	}
+	if s := Value(7).String(); s != "logic.Value(7)" {
+		t.Errorf("invalid value renders %q", s)
+	}
+}
+
+func TestAllAny(t *testing.T) {
+	if All() != True {
+		t.Error("empty All should be True")
+	}
+	if Any() != False {
+		t.Error("empty Any should be False")
+	}
+	if All(True, Unknown, True) != Unknown {
+		t.Error("All with U should be U")
+	}
+	if All(True, Unknown, False) != False {
+		t.Error("All with 0 should be 0")
+	}
+	if Any(False, Unknown) != Unknown {
+		t.Error("Any with U should be U")
+	}
+	if Any(False, Unknown, True) != True {
+		t.Error("Any with 1 should be 1")
+	}
+}
+
+func clamp(v Value) Value {
+	if v > Unknown {
+		return Value(uint8(v) % 3)
+	}
+	return v
+}
+
+// De Morgan's laws hold in strong Kleene logic.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b Value) bool {
+		a, b = clamp(a), clamp(b)
+		return a.And(b).Not() == a.Not().Or(b.Not()) &&
+			a.Or(b).Not() == a.Not().And(b.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conjunction and disjunction are commutative, associative, and monotone
+// with respect to the information ordering.
+func TestQuickAlgebraicLaws(t *testing.T) {
+	comm := func(a, b Value) bool {
+		a, b = clamp(a), clamp(b)
+		return a.And(b) == b.And(a) && a.Or(b) == b.Or(a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(a, b, c Value) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		return a.And(b.And(c)) == a.And(b).And(c) &&
+			a.Or(b.Or(c)) == a.Or(b).Or(c)
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	dneg := func(a Value) bool {
+		a = clamp(a)
+		return a.Not().Not() == a
+	}
+	if err := quick.Check(dneg, nil); err != nil {
+		t.Error("double negation:", err)
+	}
+}
+
+func TestTriMatrixBasics(t *testing.T) {
+	m := NewTriMatrix(3, Unknown)
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", m.Size())
+	}
+	for j := 1; j <= 3; j++ {
+		for k := 1; k <= j; k++ {
+			if m.At(j, k) != Unknown {
+				t.Errorf("init At(%d,%d) = %v, want U", j, k, m.At(j, k))
+			}
+		}
+	}
+	m.Set(2, 1, True)
+	m.Set(3, 2, False)
+	if m.At(2, 1) != True || m.At(3, 2) != False {
+		t.Error("Set/At roundtrip failed")
+	}
+	row := m.Row(3)
+	if len(row) != 3 || row[0] != Unknown || row[1] != False || row[2] != Unknown {
+		t.Errorf("Row(3) = %v", row)
+	}
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Error("Clone not Equal")
+	}
+	c.Set(1, 1, False)
+	if c.Equal(m) {
+		t.Error("mutated clone still Equal")
+	}
+	if m.Equal(NewTriMatrix(2, Unknown)) {
+		t.Error("different sizes Equal")
+	}
+}
+
+func TestTriMatrixOutOfRange(t *testing.T) {
+	m := NewTriMatrix(3, False)
+	cases := [][2]int{{0, 1}, {4, 1}, {2, 3}, {1, 0}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			m.At(c[0], c[1])
+		}()
+	}
+}
+
+func TestTriMatrixStringParse(t *testing.T) {
+	m := NewTriMatrix(4, False)
+	m.Set(2, 1, True)
+	m.Set(3, 1, Unknown)
+	m.Set(4, 3, Unknown)
+	m.Set(4, 4, True)
+	s := m.String()
+	got, err := ParseTriMatrix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Errorf("roundtrip mismatch:\n%s\nvs\n%s", got, m)
+	}
+}
+
+func TestParseTriMatrixPaperStyle(t *testing.T) {
+	// θ from the paper's Example 5.
+	m, err := ParseTriMatrix(`
+		[1]
+		[1 1]
+		[0 0 1]
+		[0 0 U 1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4 || m.At(2, 1) != True || m.At(4, 3) != Unknown || m.At(4, 1) != False {
+		t.Errorf("parsed matrix wrong:\n%s", m)
+	}
+}
+
+func TestParseTriMatrixErrors(t *testing.T) {
+	if _, err := ParseTriMatrix("[1]\n[1]"); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ParseTriMatrix("[x]"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}

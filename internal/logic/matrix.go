@@ -1,0 +1,124 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TriMatrix is a lower-triangular matrix of three-valued logic values,
+// indexed 1-based like the paper: entries (j, k) are defined for
+// 1 ≤ k ≤ j ≤ N. It stores the θ and φ precondition matrices and the
+// shift matrix S of the OPS optimizer.
+//
+// The zero TriMatrix is empty; use NewTriMatrix to allocate one.
+type TriMatrix struct {
+	n     int
+	cells []Value // row-major packed lower triangle
+}
+
+// NewTriMatrix returns an n×n lower-triangular matrix with every defined
+// entry initialized to init.
+func NewTriMatrix(n int, init Value) *TriMatrix {
+	m := &TriMatrix{n: n, cells: make([]Value, n*(n+1)/2)}
+	if init != False {
+		for i := range m.cells {
+			m.cells[i] = init
+		}
+	}
+	return m
+}
+
+// Size returns the dimension n of the matrix.
+func (m *TriMatrix) Size() int { return m.n }
+
+func (m *TriMatrix) idx(j, k int) int {
+	if j < 1 || j > m.n || k < 1 || k > j {
+		panic(fmt.Sprintf("logic: TriMatrix index (%d,%d) out of range for size %d", j, k, m.n))
+	}
+	return (j-1)*j/2 + (k - 1)
+}
+
+// At returns entry (j, k), 1-based, k ≤ j.
+func (m *TriMatrix) At(j, k int) Value { return m.cells[m.idx(j, k)] }
+
+// Set assigns entry (j, k), 1-based, k ≤ j.
+func (m *TriMatrix) Set(j, k int, v Value) { m.cells[m.idx(j, k)] = v }
+
+// Row returns a copy of row j (entries (j,1) … (j,j)).
+func (m *TriMatrix) Row(j int) []Value {
+	out := make([]Value, j)
+	copy(out, m.cells[(j-1)*j/2:(j-1)*j/2+j])
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *TriMatrix) Clone() *TriMatrix {
+	c := &TriMatrix{n: m.n, cells: make([]Value, len(m.cells))}
+	copy(c.cells, m.cells)
+	return c
+}
+
+// Equal reports whether the two matrices have the same size and entries.
+func (m *TriMatrix) Equal(o *TriMatrix) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.cells {
+		if m.cells[i] != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix in the paper's bracketed style, one row per
+// line, e.g. "[1]\n[1 1]\n[0 0 1]".
+func (m *TriMatrix) String() string {
+	var b strings.Builder
+	for j := 1; j <= m.n; j++ {
+		b.WriteByte('[')
+		for k := 1; k <= j; k++ {
+			if k > 1 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(m.At(j, k).String())
+		}
+		b.WriteByte(']')
+		if j < m.n {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ParseTriMatrix parses the String format back into a matrix: rows of
+// 0/1/U separated by newlines, each optionally bracketed. It is used by
+// tests to assert the exact matrices printed in the paper.
+func ParseTriMatrix(s string) (*TriMatrix, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	m := NewTriMatrix(len(lines), False)
+	for j, line := range lines {
+		line = strings.TrimSpace(line)
+		line = strings.TrimPrefix(line, "[")
+		line = strings.TrimSuffix(line, "]")
+		fields := strings.Fields(line)
+		if len(fields) != j+1 {
+			return nil, fmt.Errorf("logic: row %d has %d entries, want %d", j+1, len(fields), j+1)
+		}
+		for k, f := range fields {
+			var v Value
+			switch f {
+			case "1":
+				v = True
+			case "0":
+				v = False
+			case "U", "u":
+				v = Unknown
+			default:
+				return nil, fmt.Errorf("logic: bad matrix entry %q at (%d,%d)", f, j+1, k+1)
+			}
+			m.Set(j+1, k+1, v)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,108 @@
+package pattern
+
+import (
+	"fmt"
+
+	"sqlts/internal/constraint"
+	"sqlts/internal/storage"
+)
+
+// Builder assembles patterns programmatically with column-name resolution,
+// as an alternative to the SQL-TS front end. Errors are accumulated and
+// reported by Build.
+type Builder struct {
+	schema *storage.Schema
+	opts   Options
+	elems  []Element
+	err    error
+}
+
+// NewBuilder starts a pattern over the given schema.
+func NewBuilder(schema *storage.Schema) *Builder {
+	return &Builder{schema: schema}
+}
+
+// WithOptions sets compilation options.
+func (b *Builder) WithOptions(opts Options) *Builder {
+	b.opts = opts
+	return b
+}
+
+// Elem appends a plain (non-star) element.
+func (b *Builder) Elem(name string, conds ...Cond) *Builder {
+	b.elems = append(b.elems, Element{Name: name, Local: conds})
+	return b
+}
+
+// Star appends a star (one-or-more) element.
+func (b *Builder) Star(name string, conds ...Cond) *Builder {
+	b.elems = append(b.elems, Element{Name: name, Star: true, Local: conds})
+	return b
+}
+
+// CrossOn attaches a cross condition to the most recently added element.
+func (b *Builder) CrossOn(key string, fn func(ctx *EvalContext) bool) *Builder {
+	if len(b.elems) == 0 {
+		b.fail(fmt.Errorf("pattern: CrossOn before any element"))
+		return b
+	}
+	e := &b.elems[len(b.elems)-1]
+	e.CrossConds = append(e.CrossConds, Cross(key, fn))
+	return b
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *Builder) col(name string) int {
+	i, ok := b.schema.ColumnIndex(name)
+	if !ok {
+		b.fail(fmt.Errorf("pattern: unknown column %q", name))
+		return 0
+	}
+	return i
+}
+
+// CmpConst builds "role.col op c" with column-name resolution.
+func (b *Builder) CmpConst(col string, role Role, op constraint.Op, c float64) Cond {
+	return FieldConst(b.col(col), role, op, c)
+}
+
+// CmpPrev builds "cur.col op prev.col" — the paper's ubiquitous
+// t.price op t.previous.price form.
+func (b *Builder) CmpPrev(col string, op constraint.Op) Cond {
+	i := b.col(col)
+	return FieldField(i, Cur, op, i, Prev, 0)
+}
+
+// CmpPrevScaled builds "cur.col op coef * prev.col" — the percentage form
+// of Example 10 (e.g. price < 0.98 * previous.price).
+func (b *Builder) CmpPrevScaled(col string, op constraint.Op, coef float64) Cond {
+	i := b.col(col)
+	return FieldScaled(i, Cur, op, coef, i, Prev)
+}
+
+// CmpStr builds "role.col op 'lit'".
+func (b *Builder) CmpStr(col string, role Role, op constraint.Op, lit string) Cond {
+	return FieldStr(b.col(col), role, op, lit)
+}
+
+// Build compiles the accumulated elements into a pattern.
+func (b *Builder) Build() (*Pattern, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return Compile(b.schema, b.elems, b.opts)
+}
+
+// MustBuild is Build that panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Pattern {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+func TestParseAggregates(t *testing.T) {
+	st, err := Parse(`SELECT AVG(Y.price), COUNT(Y), min(Y.price) AS lo FROM quote AS (X, *Y) WHERE Y.price > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := st.(*SelectStmt).Items
+	avg := items[0].Expr.(*AggExpr)
+	if avg.Fn != "AVG" || avg.Var != "Y" || avg.Field != "price" {
+		t.Errorf("avg = %+v", avg)
+	}
+	cnt := items[1].Expr.(*AggExpr)
+	if cnt.Fn != "COUNT" || cnt.Field != "" {
+		t.Errorf("count = %+v", cnt)
+	}
+	mn := items[2].Expr.(*AggExpr)
+	if mn.Fn != "MIN" || items[2].Alias != "lo" {
+		t.Errorf("min = %+v alias %q", mn, items[2].Alias)
+	}
+	if avg.String() != "AVG(Y.price)" || cnt.String() != "COUNT(Y)" {
+		t.Errorf("strings: %s, %s", avg, cnt)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	cases := []string{
+		`SELECT AVG(Y) FROM quote AS (X, *Y) WHERE Y.price > 0`,      // AVG needs a field
+		`SELECT AVG(Y. FROM quote AS (X, *Y) WHERE Y.price > 0`,      // broken arg
+		`SELECT AVG(Y.price FROM quote AS (X, *Y) WHERE Y.price > 0`, // missing paren
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	c := analyzeSelect(t, `
+		SELECT AVG(Y.price), SUM(Y.volume), MIN(Y.date), MAX(Y.price), COUNT(Y),
+		       COUNT(Y) * 2 AS doubled
+		FROM quote AS (X, *Y)
+		WHERE Y.price < Y.previous.price`, AnalyzeOptions{})
+	wantTypes := []storage.Type{
+		storage.TypeFloat, storage.TypeInt, storage.TypeDate,
+		storage.TypeFloat, storage.TypeInt, storage.TypeInt,
+	}
+	for i, w := range wantTypes {
+		if c.OutTypes[i] != w {
+			t.Errorf("type %d = %v, want %v", i, c.OutTypes[i], w)
+		}
+	}
+
+	seq := []storage.Row{
+		{storage.NewString("A"), storage.NewDateDays(10), storage.NewFloat(10), storage.NewInt(100)},
+		{storage.NewString("A"), storage.NewDateDays(11), storage.NewFloat(8), storage.NewInt(200)},
+		{storage.NewString("A"), storage.NewDateDays(12), storage.NewFloat(6), storage.NewInt(300)},
+		{storage.NewString("A"), storage.NewDateDays(13), storage.Null, storage.NewInt(400)},
+	}
+	spans := []pattern.Span{
+		{Start: 0, End: 0, Set: true},
+		{Start: 1, End: 3, Set: true},
+	}
+	row, err := c.EvalSelect(seq, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Float() != 7 { // AVG over 8, 6 (NULL ignored)
+		t.Errorf("AVG = %v, want 7", row[0])
+	}
+	if row[1].Int() != 900 { // SUM of volumes 200+300+400
+		t.Errorf("SUM = %v, want 900", row[1])
+	}
+	if row[2].DateDays() != 11 {
+		t.Errorf("MIN(date) = %v", row[2])
+	}
+	if row[3].Float() != 8 {
+		t.Errorf("MAX = %v", row[3])
+	}
+	if row[4].Int() != 3 {
+		t.Errorf("COUNT = %v, want 3", row[4])
+	}
+	if row[5].Int() != 6 {
+		t.Errorf("COUNT*2 = %v, want 6", row[5])
+	}
+}
+
+func TestAnalyzeAggregateErrors(t *testing.T) {
+	cases := []struct{ sql, frag string }{
+		{`SELECT AVG(Q.price) FROM quote AS (X, *Y) WHERE Y.price > 0`, "unknown pattern variable"},
+		{`SELECT AVG(Y.nosuch) FROM quote AS (X, *Y) WHERE Y.price > 0`, "no column"},
+		{`SELECT AVG(Y.name) FROM quote AS (X, *Y) WHERE Y.price > 0`, "non-numeric"},
+		{`SELECT MIN(Y.name) FROM quote AS (X, *Y) WHERE Y.price > 0`, ""}, // strings are ordered: fine
+		{`SELECT X.price FROM quote AS (X, *Y) WHERE AVG(Y.price) > 5`, "not allowed in WHERE"},
+		{`SELECT AVG(Y.price) FROM quote WHERE price > 0`, "needs an AS pattern"},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.sql, err)
+		}
+		_, err = Analyze(st.(*SelectStmt), testSchema(t), AnalyzeOptions{})
+		if c.frag == "" {
+			if err != nil {
+				t.Errorf("Analyze(%q) unexpected error %v", c.sql, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Analyze(%q) err = %v, want containing %q", c.sql, err, c.frag)
+		}
+	}
+}
+
+func TestAggregateNullSpan(t *testing.T) {
+	c := analyzeSelect(t, `
+		SELECT AVG(Y.price) FROM quote AS (X, *Y)
+		WHERE Y.price < Y.previous.price`, AnalyzeOptions{})
+	seq := []storage.Row{
+		{storage.NewString("A"), storage.NewDateDays(10), storage.Null, storage.NewInt(1)},
+		{storage.NewString("A"), storage.NewDateDays(11), storage.Null, storage.NewInt(2)},
+	}
+	spans := []pattern.Span{{Start: 0, End: 0, Set: true}, {Start: 1, End: 1, Set: true}}
+	row, err := c.EvalSelect(seq, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row[0].IsNull() {
+		t.Errorf("AVG over all-NULL span = %v, want NULL", row[0])
+	}
+}

@@ -1,0 +1,223 @@
+package query
+
+import (
+	"fmt"
+
+	"sqlts/internal/storage"
+)
+
+// refEnv resolves a field reference to a value during expression
+// evaluation; ok=false means the reference is out of range (which
+// propagates as NULL).
+type refEnv func(*FieldRef) (storage.Value, bool)
+
+// aggEnv resolves a span aggregate during SELECT evaluation.
+type aggEnv func(*AggExpr) (storage.Value, error)
+
+// evalExpr evaluates an expression under an environment. NULL propagates
+// through arithmetic and comparisons; AND/OR use SQL three-valued logic
+// collapsed to {TRUE, not-TRUE} (a WHERE clause only passes on TRUE).
+// Aggregates are rejected (they only make sense over a completed match;
+// see evalExprAgg).
+func evalExpr(e Expr, env refEnv) (storage.Value, error) {
+	return evalExprAgg(e, env, nil)
+}
+
+// evalExprAgg is evalExpr with an aggregate resolver.
+func evalExprAgg(e Expr, env refEnv, agg aggEnv) (storage.Value, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			return storage.NewInt(int64(x.Value)), nil
+		}
+		return storage.NewFloat(x.Value), nil
+	case *StringLit:
+		return storage.NewString(x.Value), nil
+	case *BoolLit:
+		return storage.NewBool(x.Value), nil
+	case *NullLit:
+		return storage.Null, nil
+	case *FieldRef:
+		v, ok := env(x)
+		if !ok {
+			return storage.Null, nil
+		}
+		return v, nil
+	case *AggExpr:
+		if agg == nil {
+			return storage.Null, fmt.Errorf("sql-ts: aggregate %s is only allowed in the SELECT list", x)
+		}
+		return agg(x)
+	case *UnaryExpr:
+		return evalUnary(x, env, agg)
+	case *BinaryExpr:
+		return evalBinary(x, env, agg)
+	default:
+		return storage.Null, fmt.Errorf("sql-ts: cannot evaluate %T", e)
+	}
+}
+
+func evalUnary(x *UnaryExpr, env refEnv, agg aggEnv) (storage.Value, error) {
+	v, err := evalExprAgg(x.X, env, agg)
+	if err != nil || v.IsNull() {
+		return storage.Null, err
+	}
+	switch x.Op {
+	case "-":
+		switch v.Type() {
+		case storage.TypeInt:
+			return storage.NewInt(-v.Int()), nil
+		case storage.TypeFloat:
+			return storage.NewFloat(-v.Float()), nil
+		default:
+			return storage.Null, fmt.Errorf("sql-ts: cannot negate %s", v.Type())
+		}
+	case "NOT":
+		if v.Type() != storage.TypeBool {
+			return storage.Null, fmt.Errorf("sql-ts: NOT applied to %s", v.Type())
+		}
+		return storage.NewBool(!v.Bool()), nil
+	default:
+		return storage.Null, fmt.Errorf("sql-ts: unknown unary operator %q", x.Op)
+	}
+}
+
+func evalBinary(x *BinaryExpr, env refEnv, agg aggEnv) (storage.Value, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := evalExprAgg(x.L, env, agg)
+		if err != nil {
+			return storage.Null, err
+		}
+		r, err := evalExprAgg(x.R, env, agg)
+		if err != nil {
+			return storage.Null, err
+		}
+		lb := !l.IsNull() && l.Type() == storage.TypeBool && l.Bool()
+		rb := !r.IsNull() && r.Type() == storage.TypeBool && r.Bool()
+		if x.Op == "AND" {
+			return storage.NewBool(lb && rb), nil
+		}
+		return storage.NewBool(lb || rb), nil
+	}
+
+	l, err := evalExprAgg(x.L, env, agg)
+	if err != nil {
+		return storage.Null, err
+	}
+	r, err := evalExprAgg(x.R, env, agg)
+	if err != nil {
+		return storage.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		if isCmpOp(x.Op) {
+			return storage.NewBool(false), nil
+		}
+		return storage.Null, nil
+	}
+
+	if isCmpOp(x.Op) {
+		return compareValues(l, r, x.Op)
+	}
+
+	// Arithmetic. Dates support +/- integer days.
+	if l.Type() == storage.TypeDate && r.Type().Numeric() && (x.Op == "+" || x.Op == "-") {
+		d := int64(r.Float())
+		if x.Op == "-" {
+			d = -d
+		}
+		return storage.NewDateDays(l.DateDays() + d), nil
+	}
+	if !l.Type().Numeric() || !r.Type().Numeric() {
+		return storage.Null, fmt.Errorf("sql-ts: arithmetic on %s and %s", l.Type(), r.Type())
+	}
+	if l.Type() == storage.TypeInt && r.Type() == storage.TypeInt && x.Op != "/" {
+		a, b := l.Int(), r.Int()
+		switch x.Op {
+		case "+":
+			return storage.NewInt(a + b), nil
+		case "-":
+			return storage.NewInt(a - b), nil
+		case "*":
+			return storage.NewInt(a * b), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch x.Op {
+	case "+":
+		return storage.NewFloat(a + b), nil
+	case "-":
+		return storage.NewFloat(a - b), nil
+	case "*":
+		return storage.NewFloat(a * b), nil
+	case "/":
+		if b == 0 {
+			return storage.Null, nil
+		}
+		return storage.NewFloat(a / b), nil
+	default:
+		return storage.Null, fmt.Errorf("sql-ts: unknown operator %q", x.Op)
+	}
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func compareValues(l, r storage.Value, op string) (storage.Value, error) {
+	// Allow comparing a date column against a date-formatted string
+	// literal, the natural way to write constants in queries.
+	if l.Type() == storage.TypeDate && r.Type() == storage.TypeString {
+		if d, err := storage.ParseValue(r.Str(), storage.TypeDate); err == nil {
+			r = d
+		}
+	}
+	if r.Type() == storage.TypeDate && l.Type() == storage.TypeString {
+		if d, err := storage.ParseValue(l.Str(), storage.TypeDate); err == nil {
+			l = d
+		}
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return storage.Null, fmt.Errorf("sql-ts: cannot compare %s and %s", l.Type(), r.Type())
+	}
+	switch op {
+	case "=":
+		return storage.NewBool(c == 0), nil
+	case "<>":
+		return storage.NewBool(c != 0), nil
+	case "<":
+		return storage.NewBool(c < 0), nil
+	case "<=":
+		return storage.NewBool(c <= 0), nil
+	case ">":
+		return storage.NewBool(c > 0), nil
+	case ">=":
+		return storage.NewBool(c >= 0), nil
+	default:
+		return storage.Null, fmt.Errorf("sql-ts: unknown comparison %q", op)
+	}
+}
+
+// truthy reports whether a WHERE-style value passes: only boolean TRUE.
+func truthy(v storage.Value) bool {
+	return !v.IsNull() && v.Type() == storage.TypeBool && v.Bool()
+}
+
+// EvalConst evaluates a literal-only expression (an INSERT VALUES item);
+// field references are rejected.
+func EvalConst(e Expr) (storage.Value, error) {
+	var refErr error
+	v, err := evalExpr(e, func(f *FieldRef) (storage.Value, bool) {
+		refErr = fmt.Errorf("sql-ts: field reference %s in a constant expression", f)
+		return storage.Null, false
+	})
+	if refErr != nil {
+		return storage.Null, refErr
+	}
+	return v, err
+}

@@ -1,0 +1,80 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/storage"
+)
+
+// FuzzParse: the parser must never panic and, when it accepts input, the
+// rendered form must re-parse to the same rendering (a fixed point).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) WHERE Y.price > 1.15 * X.price`,
+		`SELECT FIRST(X).date, AVG(Y.price) FROM t AS (*X, *Y) WHERE X.price > X.previous.price`,
+		`CREATE TABLE t (a VARCHAR(8), b DATE, c REAL)`,
+		`INSERT INTO t VALUES ('x', '1999-01-25', 1.5), (NULL, NULL, NULL)`,
+		`SELECT a FROM t WHERE a + 2 * b < -c - 1 OR NOT a = 'x''y'`,
+		`SELECT Z.previous->date FROM q AS (X, *Y, Z) WHERE Y.price < 0.98 * Y.previous.price`,
+		"SELECT -- comment\na FROM t",
+		"", ";", "(", "'", "SELECT", "***", "1e309",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		r1 := Render(st)
+		st2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendered form does not re-parse: %q → %q: %v", src, r1, err)
+		}
+		if r2 := Render(st2); r1 != r2 {
+			t.Fatalf("render not a fixed point: %q vs %q", r1, r2)
+		}
+	})
+}
+
+// FuzzAnalyze: the analyzer must never panic on parseable SELECTs; it may
+// reject them with an error.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		`SELECT X.price FROM t AS (X, *Y) WHERE Y.price < 0.98 * Y.previous.price`,
+		`SELECT AVG(Y.price) FROM t AS (X, *Y) WHERE Y.price > X.price`,
+		`SELECT a FROM t WHERE a > 1`,
+		`SELECT X.price FROM t AS (X) WHERE X.price < 10 OR X.price > 90`,
+		`SELECT LAST(Y).price FROM t CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z) WHERE Z.price > LAST(Y).price`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := storage.MustSchema(
+		storage.Column{Name: "name", Type: storage.TypeString},
+		storage.Column{Name: "date", Type: storage.TypeDate},
+		storage.Column{Name: "price", Type: storage.TypeFloat},
+		storage.Column{Name: "a", Type: storage.TypeInt},
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		sel, ok := st.(*SelectStmt)
+		if !ok {
+			return
+		}
+		// Must not panic; errors are fine.
+		c, err := Analyze(sel, schema, AnalyzeOptions{PositiveColumns: []string{"price"}})
+		if err != nil {
+			if !strings.Contains(err.Error(), "sql-ts") && !strings.Contains(err.Error(), "pattern") {
+				t.Fatalf("error without package prefix: %v", err)
+			}
+			return
+		}
+		_ = c.AlwaysEmpty()
+	})
+}

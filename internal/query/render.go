@@ -1,0 +1,97 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render reconstructs SQL-TS text from a parsed statement. Parsing the
+// rendered text yields an equivalent AST (the parser tests assert the
+// round trip), which lets tools re-submit statements they inspected.
+func Render(st Stmt) string {
+	switch s := st.(type) {
+	case *SelectStmt:
+		return renderSelect(s)
+	case *CreateTableStmt:
+		return renderCreate(s)
+	case *InsertStmt:
+		return renderInsert(s)
+	default:
+		return ""
+	}
+}
+
+func renderSelect(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(item.Expr.String())
+		if item.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(item.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.Table)
+	if len(s.ClusterBy) > 0 {
+		b.WriteString(" CLUSTER BY ")
+		b.WriteString(strings.Join(s.ClusterBy, ", "))
+	}
+	if len(s.SequenceBy) > 0 {
+		b.WriteString(" SEQUENCE BY ")
+		b.WriteString(strings.Join(s.SequenceBy, ", "))
+	}
+	if len(s.Pattern) > 0 {
+		b.WriteString(" AS (")
+		for i, pv := range s.Pattern {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if pv.Star {
+				b.WriteByte('*')
+			}
+			b.WriteString(pv.Name)
+		}
+		b.WriteByte(')')
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+func renderCreate(s *CreateTableStmt) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Name)
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func renderInsert(s *InsertStmt) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", s.Table)
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

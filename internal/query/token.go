@@ -1,0 +1,66 @@
+// Package query implements the SQL-TS front end: lexer, abstract syntax
+// tree, recursive-descent parser, semantic analyzer and expression
+// evaluator. SQL-TS (§2 of the paper) is SQL with three FROM-clause
+// additions — CLUSTER BY, SEQUENCE BY and a pattern of tuple variables in
+// the AS clause, where *X denotes a one-or-more repetition — plus
+// previous/next tuple navigation and the FIRST()/LAST() span accessors.
+package query
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString // 'single quoted'
+	TokOp     // punctuation and operators
+)
+
+// Token is one lexical token with its source position (1-based line/col).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords recognized by the lexer (always reported upper-case).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AS": true,
+	"CLUSTER": true, "SEQUENCE": true, "BY": true,
+	"AND": true, "OR": true, "NOT": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "FIRST": true, "LAST": true,
+	"PREVIOUS": true, "NEXT": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+}
+
+// SyntaxError is a parse or lex error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql-ts: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

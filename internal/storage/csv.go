@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads rows from r into a new table. The first record must be a
+// header naming the columns; column types are taken from schema, matched
+// by header name (so the CSV column order may differ from the schema).
+func ReadCSV(name string, schema *Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: csv %s: read header: %w", name, err)
+	}
+	colOf := make([]int, len(header))
+	for i, h := range header {
+		ci, ok := schema.ColumnIndex(h)
+		if !ok {
+			return nil, fmt.Errorf("storage: csv %s: unknown column %q", name, h)
+		}
+		colOf[i] = ci
+	}
+	t := NewTable(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv %s line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("storage: csv %s line %d: %d fields, want %d", name, line, len(rec), len(header))
+		}
+		row := make(Row, schema.Len())
+		for i, field := range rec {
+			v, err := ParseValue(field, schema.Columns[colOf[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("storage: csv %s line %d: %w", name, line, err)
+			}
+			row[colOf[i]] = v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(name string, schema *Schema, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, schema, f)
+}
+
+// WriteCSV writes the table (header + rows) to w in the format ReadCSV
+// accepts.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema.Len())
+	for i, c := range t.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path, creating or truncating it.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

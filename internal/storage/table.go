@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns, validating that names are
+// non-empty and unique (case-insensitive, as in SQL).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: column %d has empty name", i)
+		}
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the index of the named column (case-insensitive)
+// and whether it exists.
+func (s *Schema) ColumnIndex(name string) (int, bool) {
+	i, ok := s.byName[strings.ToLower(name)]
+	return i, ok
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Row is one tuple; Row[i] corresponds to Schema.Columns[i].
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Table is an in-memory relation: a schema plus a bag of rows.
+// It is not safe for concurrent mutation.
+type Table struct {
+	Name   string
+	Schema *Schema
+	Rows   []Row
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// Insert appends a row after validating arity and types. Ints widen to
+// float columns (and integral floats narrow to int columns) automatically.
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != t.Schema.Len() {
+		return fmt.Errorf("storage: %s: insert arity %d, want %d", t.Name, len(vals), t.Schema.Len())
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		if v.IsNull() {
+			row[i] = v
+			continue
+		}
+		want := t.Schema.Columns[i].Type
+		if v.Type() != want {
+			cv, err := v.Coerce(want)
+			if err != nil {
+				return fmt.Errorf("storage: %s.%s: %w", t.Name, t.Schema.Columns[i].Name, err)
+			}
+			v = cv
+		}
+		row[i] = v
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for tests and generators.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Cluster groups and orders the table's rows per the paper's
+// CLUSTER BY / SEQUENCE BY semantics (Figure 1): rows are grouped by the
+// cluster columns (group order = first appearance, which keeps output
+// deterministic) and each group is sorted ascending by the sequence
+// columns. It returns one row-slice per cluster; with no cluster columns
+// the whole table is a single cluster.
+func (t *Table) Cluster(clusterBy, sequenceBy []string) ([][]Row, error) {
+	cidx, err := t.resolve(clusterBy)
+	if err != nil {
+		return nil, err
+	}
+	sidx, err := t.resolve(sequenceBy)
+	if err != nil {
+		return nil, err
+	}
+
+	var groups [][]Row
+	if len(cidx) == 0 {
+		if len(t.Rows) > 0 {
+			groups = [][]Row{append([]Row(nil), t.Rows...)}
+		}
+	} else {
+		order := make(map[string]int)
+		for _, r := range t.Rows {
+			key := clusterKey(r, cidx)
+			gi, ok := order[key]
+			if !ok {
+				gi = len(groups)
+				order[key] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], r)
+		}
+	}
+
+	if len(sidx) > 0 {
+		for _, g := range groups {
+			var sortErr error
+			sort.SliceStable(g, func(a, b int) bool {
+				for _, ci := range sidx {
+					c, err := g[a][ci].Compare(g[b][ci])
+					if err != nil {
+						sortErr = err
+						return false
+					}
+					if c != 0 {
+						return c < 0
+					}
+				}
+				return false
+			})
+			if sortErr != nil {
+				return nil, sortErr
+			}
+		}
+	}
+	return groups, nil
+}
+
+func (t *Table) resolve(names []string) ([]int, error) {
+	idx := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := t.Schema.ColumnIndex(n)
+		if !ok {
+			return nil, fmt.Errorf("storage: %s has no column %q", t.Name, n)
+		}
+		idx = append(idx, i)
+	}
+	return idx, nil
+}
+
+func clusterKey(r Row, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(r[i].Type().String())
+		b.WriteByte(':')
+		b.WriteString(r[i].String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Project returns the values of the named columns of row r.
+func (t *Table) Project(r Row, names []string) (Row, error) {
+	idx, err := t.resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Row, len(idx))
+	for i, ci := range idx {
+		out[i] = r[ci]
+	}
+	return out, nil
+}

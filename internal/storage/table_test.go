@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func quoteSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "name", Type: TypeString},
+		Column{Name: "date", Type: TypeDate},
+		Column{Name: "price", Type: TypeFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := quoteSchema(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.ColumnIndex("PRICE"); !ok || i != 2 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := s.ColumnIndex("nosuch"); ok {
+		t.Error("found nonexistent column")
+	}
+	if got := s.String(); got != "(name VARCHAR, date DATE, price REAL)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "", Type: TypeInt}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Type: TypeInt}, Column{Name: "A", Type: TypeInt}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic")
+		}
+	}()
+	MustSchema(Column{Name: "", Type: TypeInt})
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	if err := tbl.Insert(NewString("IBM"), NewDateDays(1), NewFloat(80)); err != nil {
+		t.Fatal(err)
+	}
+	// Int widens into the float column.
+	if err := tbl.Insert(NewString("IBM"), NewDateDays(2), NewInt(81)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[1][2].Type() != TypeFloat {
+		t.Error("int was not widened to REAL")
+	}
+	// NULL is allowed anywhere.
+	if err := tbl.Insert(Null, Null, Null); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(NewString("IBM"), NewDateDays(3)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tbl.Insert(NewInt(1), NewDateDays(3), NewFloat(1)); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tbl.Len())
+	}
+}
+
+func TestClusterAndSequence(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	// Interleaved inserts, out of date order, mirroring Figure 1.
+	rows := []struct {
+		name  string
+		day   int64
+		price float64
+	}{
+		{"INTC", 3, 62}, {"IBM", 1, 81}, {"INTC", 1, 60},
+		{"IBM", 3, 84}, {"INTC", 2, 63.5}, {"IBM", 2, 80.5},
+	}
+	for _, r := range rows {
+		tbl.MustInsert(NewString(r.name), NewDateDays(r.day), NewFloat(r.price))
+	}
+	groups, err := tbl.Cluster([]string{"name"}, []string{"date"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("%d groups, want 2", len(groups))
+	}
+	// First-appearance order: INTC first.
+	if groups[0][0][0].Str() != "INTC" || groups[1][0][0].Str() != "IBM" {
+		t.Error("cluster order should follow first appearance")
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			if g[i][1].DateDays() <= g[i-1][1].DateDays() {
+				t.Error("group not sorted by date")
+			}
+		}
+	}
+	// Prices in date order per Figure 1.
+	if groups[0][0][2].Float() != 60 || groups[0][1][2].Float() != 63.5 || groups[0][2][2].Float() != 62 {
+		t.Error("INTC sequence wrong")
+	}
+}
+
+func TestClusterNoClusterBy(t *testing.T) {
+	tbl := NewTable("t", MustSchema(Column{Name: "v", Type: TypeInt}))
+	tbl.MustInsert(NewInt(3))
+	tbl.MustInsert(NewInt(1))
+	groups, err := tbl.Cluster(nil, []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0][0][0].Int() != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+	empty := NewTable("e", MustSchema(Column{Name: "v", Type: TypeInt}))
+	groups, err = empty.Cluster(nil, nil)
+	if err != nil || len(groups) != 0 {
+		t.Errorf("empty table: %v, %v", groups, err)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	tbl := NewTable("t", MustSchema(Column{Name: "v", Type: TypeInt}))
+	if _, err := tbl.Cluster([]string{"nosuch"}, nil); err == nil {
+		t.Error("unknown cluster column accepted")
+	}
+	if _, err := tbl.Cluster(nil, []string{"nosuch"}); err == nil {
+		t.Error("unknown sequence column accepted")
+	}
+}
+
+func TestClusterStableOnTies(t *testing.T) {
+	tbl := NewTable("t", MustSchema(
+		Column{Name: "k", Type: TypeInt},
+		Column{Name: "ord", Type: TypeInt},
+	))
+	tbl.MustInsert(NewInt(1), NewInt(5))
+	tbl.MustInsert(NewInt(1), NewInt(5)) // tie: insertion order preserved
+	tbl.MustInsert(NewInt(1), NewInt(3))
+	groups, err := tbl.Cluster(nil, []string{"ord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groups[0]
+	if g[0][1].Int() != 3 || g[1][1].Int() != 5 || g[2][1].Int() != 5 {
+		t.Errorf("sorted group = %v", g)
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	tbl.MustInsert(NewString("IBM"), NewDateDays(1), NewFloat(80))
+	out, err := tbl.Project(tbl.Rows[0], []string{"price", "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Float() != 80 || out[1].Str() != "IBM" {
+		t.Errorf("Project = %v", out)
+	}
+	if _, err := tbl.Project(tbl.Rows[0], []string{"nosuch"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewInt(2)}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	tbl.MustInsert(NewString("IBM"), NewDateDays(10615), NewFloat(80.5))
+	tbl.MustInsert(NewString("INTC"), NewDateDays(10616), Null)
+
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("quote", tbl.Schema, strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("rows = %d", back.Len())
+	}
+	if !back.Rows[0][2].Equal(NewFloat(80.5)) || !back.Rows[1][2].IsNull() {
+		t.Errorf("rows = %v", back.Rows)
+	}
+	if back.Rows[0][1].Type() != TypeDate {
+		t.Error("date type lost")
+	}
+}
+
+func TestCSVColumnReorder(t *testing.T) {
+	s := quoteSchema(t)
+	csv := "price,name,date\n80.5,IBM,1999-01-26\n"
+	tbl, err := ReadCSV("quote", s, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0].Str() != "IBM" || tbl.Rows[0][2].Float() != 80.5 {
+		t.Errorf("reordered row = %v", tbl.Rows[0])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	s := quoteSchema(t)
+	cases := []string{
+		"bogus,name,date\n1,IBM,1999-01-01\n",  // unknown column
+		"name,date,price\nIBM,1999-01-01\n",    // short row (csv catches)
+		"name,date,price\nIBM,notadate,80.5\n", // bad date
+		"name,date,price\nIBM,1999-01-01,xx\n", // bad float
+		"",                                     // no header
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("quote", s, strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestCSVFileHelpers(t *testing.T) {
+	s := quoteSchema(t)
+	tbl := NewTable("quote", s)
+	tbl.MustInsert(NewString("IBM"), NewDateDays(1), NewFloat(80))
+	path := t.TempDir() + "/q.csv"
+	if err := tbl.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile("quote", s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Errorf("rows = %d", back.Len())
+	}
+	if _, err := ReadCSVFile("quote", s, path+".nope"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeNull: "NULL", TypeInt: "INTEGER", TypeFloat: "REAL",
+		TypeString: "VARCHAR", TypeDate: "DATE", TypeBool: "BOOLEAN",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(typ), typ.String(), want)
+		}
+	}
+	if !TypeInt.Numeric() || !TypeFloat.Numeric() || TypeString.Numeric() {
+		t.Error("Numeric predicate wrong")
+	}
+	if !TypeDate.Ordered() || TypeBool.Ordered() || TypeNull.Ordered() {
+		t.Error("Ordered predicate wrong")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if NewInt(42).Int() != 42 {
+		t.Error("Int roundtrip")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float roundtrip")
+	}
+	if NewInt(7).Float() != 7 {
+		t.Error("Int widens to Float")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str roundtrip")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool roundtrip")
+	}
+	d := NewDate(1999, time.January, 25)
+	if d.Time().Format("2006-01-02") != "1999-01-25" {
+		t.Errorf("Date roundtrip: %v", d.Time())
+	}
+	if NewDateDays(0).Time().Format("2006-01-02") != "1970-01-01" {
+		t.Error("epoch date wrong")
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewString("x").Int() },
+		func() { NewInt(1).Str() },
+		func() { NewString("x").Float() },
+		func() { NewInt(1).Bool() },
+		func() { NewInt(1).DateDays() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewDateDays(10), NewDateDays(11), -1},
+		{NewBool(false), NewBool(true), -1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := NewInt(1).Compare(NewString("1")); err == nil {
+		t.Error("int vs string should be incomparable")
+	}
+	if _, err := NewDateDays(1).Compare(NewInt(1)); err == nil {
+		t.Error("date vs int should be incomparable")
+	}
+	if !NewInt(3).Equal(NewFloat(3)) {
+		t.Error("3 should equal 3.0")
+	}
+	if NewInt(3).Equal(NewString("3")) {
+		t.Error("3 should not equal '3'")
+	}
+}
+
+func TestCompareLargeInts(t *testing.T) {
+	// Int comparisons must be exact beyond float53 precision.
+	a := NewInt(1 << 60)
+	b := NewInt(1<<60 + 1)
+	if c, _ := a.Compare(b); c != -1 {
+		t.Error("large int comparison lost precision")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-5), "-5"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewDate(1999, time.January, 25), "1999-01-25"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		s    string
+		typ  Type
+		want Value
+	}{
+		{"42", TypeInt, NewInt(42)},
+		{"-1", TypeInt, NewInt(-1)},
+		{"2.5", TypeFloat, NewFloat(2.5)},
+		{"abc", TypeString, NewString("abc")},
+		{"true", TypeBool, NewBool(true)},
+		{"1999-01-25", TypeDate, NewDate(1999, time.January, 25)},
+		{"1/25/99", TypeDate, NewDate(1999, time.January, 25)},
+		{"1/25/1999", TypeDate, NewDate(1999, time.January, 25)},
+		{"", TypeInt, Null},
+		{"null", TypeFloat, Null},
+		{"NULL", TypeString, Null},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.s, c.typ)
+		if err != nil {
+			t.Errorf("ParseValue(%q, %v): %v", c.s, c.typ, err)
+			continue
+		}
+		if !got.Equal(c.want) || got.Type() != c.want.Type() {
+			t.Errorf("ParseValue(%q, %v) = %v, want %v", c.s, c.typ, got, c.want)
+		}
+	}
+	bad := []struct {
+		s   string
+		typ Type
+	}{
+		{"x", TypeInt}, {"x", TypeFloat}, {"x", TypeBool},
+		{"not-a-date", TypeDate}, {"1", TypeNull},
+	}
+	for _, c := range bad {
+		if _, err := ParseValue(c.s, c.typ); err == nil {
+			t.Errorf("ParseValue(%q, %v) should fail", c.s, c.typ)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := NewInt(3).Coerce(TypeFloat); err != nil || v.Float() != 3 || v.Type() != TypeFloat {
+		t.Errorf("int→float: %v, %v", v, err)
+	}
+	if v, err := NewFloat(3).Coerce(TypeInt); err != nil || v.Int() != 3 {
+		t.Errorf("integral float→int: %v, %v", v, err)
+	}
+	if _, err := NewFloat(3.5).Coerce(TypeInt); err == nil {
+		t.Error("non-integral float→int should fail")
+	}
+	if _, err := NewString("x").Coerce(TypeInt); err == nil {
+		t.Error("string→int should fail")
+	}
+	if v, err := Null.Coerce(TypeInt); err != nil || !v.IsNull() {
+		t.Error("NULL coerces to anything")
+	}
+}
+
+// Property: Compare is antisymmetric and transitive over numeric values.
+func TestQuickCompareOrder(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := NewFloat(a), NewFloat(b)
+		ab, _ := va.Compare(vb)
+		ba, _ := vb.Compare(va)
+		return ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a int64, b int64, c int64) bool {
+		va, vb, vc := NewInt(a), NewInt(b), NewInt(c)
+		ab, _ := va.Compare(vb)
+		bc, _ := vb.Compare(vc)
+		ac, _ := va.Compare(vc)
+		if ab <= 0 && bc <= 0 {
+			return ac <= 0
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParseValue(v.String(), v.Type()) round-trips for supported
+// types.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(i int64, s string, days int16) bool {
+		vi := NewInt(i)
+		ri, err := ParseValue(vi.String(), TypeInt)
+		if err != nil || !ri.Equal(vi) {
+			return false
+		}
+		vd := NewDateDays(int64(days))
+		rd, err := ParseValue(vd.String(), TypeDate)
+		if err != nil || !rd.Equal(vd) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

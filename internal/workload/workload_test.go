@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"sqlts/internal/storage"
+)
+
+func TestGeometricWalkDeterminism(t *testing.T) {
+	cfg := WalkConfig{Seed: 7, N: 100, Start: 50, Drift: 0.001, Vol: 0.01}
+	a := GeometricWalk(cfg)
+	b := GeometricWalk(cfg)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("walk not deterministic for equal seeds")
+		}
+	}
+	c := GeometricWalk(WalkConfig{Seed: 8, N: 100, Start: 50, Drift: 0.001, Vol: 0.01})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical walks")
+	}
+	if a[0] != 50 {
+		t.Errorf("walk must start at Start: %g", a[0])
+	}
+	for _, p := range a {
+		if p <= 0 || math.IsNaN(p) {
+			t.Fatalf("non-positive or NaN price %g", p)
+		}
+	}
+}
+
+func TestDJIA25YearsShape(t *testing.T) {
+	p := DJIA25Years(1)
+	if len(p) != 25*TradingDaysPerYear {
+		t.Fatalf("length %d", len(p))
+	}
+	// Daily log-return statistics should be near the calibration.
+	var sum, sum2 float64
+	for i := 1; i < len(p); i++ {
+		r := math.Log(p[i] / p[i-1])
+		sum += r
+		sum2 += r * r
+	}
+	n := float64(len(p) - 1)
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if sd < 0.009 || sd > 0.013 {
+		t.Errorf("daily vol %.4f outside calibration band", sd)
+	}
+	if mean < -0.001 || mean > 0.002 {
+		t.Errorf("daily drift %.5f outside calibration band", mean)
+	}
+}
+
+func TestPlantDoubleBottomMatchesPattern(t *testing.T) {
+	prices := GeometricWalk(WalkConfig{Seed: 3, N: 200, Start: 100, Drift: 0, Vol: 0.01})
+	at := 50
+	PlantDoubleBottom(prices, at)
+	// Verify the planted shape satisfies the Example 10 element
+	// predicates step by step.
+	r := func(i int) float64 { return prices[i] / prices[i-1] }
+	// X: move within 2% upward of -2%.
+	if r(at) < 0.98 {
+		t.Errorf("anchor fails X: r=%g", r(at))
+	}
+	// Falls, flats, rises at the planted offsets: r(at+off) is the
+	// day-over-day ratio at shape position off.
+	checks := []struct {
+		off  int
+		min  float64
+		max  float64
+		name string
+	}{
+		{1, 0.98, 1.02, "X flat"},
+		{2, 0, 0.98, "*Y fall"},
+		{3, 0, 0.98, "*Y fall"},
+		{4, 0.98, 1.02, "*Z flat"},
+		{5, 0.98, 1.02, "*Z flat"},
+		{6, 1.02, 99, "*T rise"},
+		{7, 1.02, 99, "*T rise"},
+		{8, 0.98, 1.02, "*U flat"},
+		{9, 0.98, 1.02, "*U flat"},
+		{10, 0, 0.98, "*V fall"},
+		{11, 0, 0.98, "*V fall"},
+		{12, 0.98, 1.02, "*W flat"},
+		{13, 0.98, 1.02, "*W flat"},
+		{14, 1.02, 99, "*R rise"},
+		{15, 1.02, 99, "*R rise"},
+		{16, 0, 1.02, "S end"},
+	}
+	for _, c := range checks {
+		ratio := r(at + c.off)
+		if ratio < c.min || ratio > c.max {
+			t.Errorf("%s at offset %d: ratio %.4f outside (%g, %g)", c.name, c.off, ratio, c.min, c.max)
+		}
+	}
+}
+
+func TestPlantDoubleBottomBounds(t *testing.T) {
+	prices := []float64{1, 2, 3}
+	orig := append([]float64(nil), prices...)
+	PlantDoubleBottom(prices, 0) // too early: no room, unchanged
+	PlantDoubleBottom(prices, 2) // too late
+	for i := range prices {
+		if prices[i] != orig[i] {
+			t.Fatal("out-of-bounds plant modified the series")
+		}
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tbl := SeriesTable("djia", 100, []float64{1, 2, 3})
+	if tbl.Len() != 3 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if tbl.Rows[2][0].DateDays() != 102 || tbl.Rows[2][1].Float() != 3 {
+		t.Errorf("row = %v", tbl.Rows[2])
+	}
+	if tbl.Schema.Columns[0].Type != storage.TypeDate {
+		t.Error("date column type wrong")
+	}
+}
+
+func TestQuoteTableDeterministicOrder(t *testing.T) {
+	series := map[string][]float64{"ZZZ": {1, 2}, "AAA": {3}}
+	a := QuoteTable("quote", 0, series)
+	b := QuoteTable("quote", 0, series)
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("rows = %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0].Str() != b.Rows[i][0].Str() {
+			t.Fatal("row order not deterministic")
+		}
+	}
+	if a.Rows[0][0].Str() != "AAA" {
+		t.Error("names should be sorted")
+	}
+}
+
+func TestRandomText(t *testing.T) {
+	s := RandomText(1, 1000, "ab")
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != 'a' && s[i] != 'b' {
+			t.Fatalf("unexpected byte %q", s[i])
+		}
+	}
+	if RandomText(1, 100, "ab") != RandomText(1, 100, "ab") {
+		t.Error("not deterministic")
+	}
+}
+
+func TestStaircaseSeries(t *testing.T) {
+	s := StaircaseSeries(1, 500, 100, 0.01, 3, 10)
+	if len(s) != 500 || s[0] != 100 {
+		t.Fatalf("shape wrong: len %d start %g", len(s), s[0])
+	}
+	// Count direction changes; with runs of 3-10 there should be many.
+	changes := 0
+	for i := 2; i < len(s); i++ {
+		up1 := s[i-1] > s[i-2]
+		up2 := s[i] > s[i-1]
+		if up1 != up2 {
+			changes++
+		}
+	}
+	if changes < 30 || changes > 250 {
+		t.Errorf("direction changes = %d, expected staircase structure", changes)
+	}
+	for _, p := range s {
+		if p <= 0 {
+			t.Fatal("non-positive price")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sqlts
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/storage"
+)
+
+// TestMultiColumnConditions exercises patterns over several columns at
+// once (price and volume), including the §8 multidimensional-interval
+// flavour: rectangular region conditions that the optimizer relates
+// per-dimension.
+func TestMultiColumnConditions(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE ticks (seq INTEGER, price REAL, volume INTEGER)`)
+	tb := db.Table("ticks")
+	rows := []struct {
+		p float64
+		v int64
+	}{
+		{100, 500}, {101, 2500}, {99, 2600}, {98, 300}, {97, 200},
+		{100, 2700}, {103, 2900}, {104, 100},
+	}
+	for i, r := range rows {
+		tb.MustInsert(storage.NewInt(int64(i)), storage.NewFloat(r.p), storage.NewInt(r.v))
+	}
+
+	// A high-volume accumulation run followed by a quiet day: both star
+	// conditions constrain two columns.
+	q, err := db.Prepare(`
+		SELECT FIRST(A).seq, LAST(A).seq, AVG(A.volume) AS avgvol
+		FROM ticks
+		  SEQUENCE BY seq
+		  AS (*A, Q)
+		WHERE A.volume > 2000 AND A.price > 95 AND A.price < 105
+		  AND Q.volume < 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v, want 2 accumulation runs", res.Rows)
+	}
+	if res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("first run = %v..%v, want 1..2", res.Rows[0][0], res.Rows[0][1])
+	}
+	if res.Rows[0][2].Float() != 2550 {
+		t.Errorf("avg volume = %v, want 2550", res.Rows[0][2])
+	}
+
+	// The optimizer relates the two-dimensional regions: A's region
+	// (volume > 2000) excludes Q's (volume < 1000) — θ[2][1] must be 0.
+	pat := q.Pattern()
+	if !pat.Elems[1].Sys.Excludes(pat.Elems[0].Sys) {
+		t.Errorf("quiet day should exclude accumulation: %s vs %s",
+			pat.Elems[1].Sys, pat.Elems[0].Sys)
+	}
+	// Naive agreement.
+	nres, err := q.RunWith(RunOptions{Executor: NaiveExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nres.Rows) != len(res.Rows) {
+		t.Fatalf("naive %d vs ops %d", len(nres.Rows), len(res.Rows))
+	}
+}
+
+// TestPrepareRejectsNonSelect covers Prepare/Exec misuse.
+func TestPrepareRejectsNonSelect(t *testing.T) {
+	db := New()
+	if _, err := db.Prepare(`CREATE TABLE t (a INT)`); err == nil || !strings.Contains(err.Error(), "SELECT") {
+		t.Errorf("Prepare(CREATE) = %v", err)
+	}
+	db.MustExec(`CREATE TABLE t (a INT)`)
+	if err := db.Exec(`SELECT a FROM t`); err == nil {
+		t.Error("Exec(SELECT) accepted")
+	}
+	if err := db.DeclarePositive("nosuch", "a"); err == nil {
+		t.Error("DeclarePositive on missing table accepted")
+	}
+	if err := db.DeclarePositive("t", "nosuch"); err == nil {
+		t.Error("DeclarePositive on missing column accepted")
+	}
+	db.MustExec(`CREATE TABLE s (x VARCHAR(4))`)
+	if err := db.DeclarePositive("s", "x"); err == nil {
+		t.Error("DeclarePositive on string column accepted")
+	}
+	if names := db.TableNames(); len(names) != 2 {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+// TestExplainGraphAPI smoke-tests the DOT rendering through the public
+// API.
+func TestExplainGraphAPI(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE q (d DATE, p REAL)`)
+	qr, err := db.Prepare(`
+		SELECT FIRST(X).d FROM q SEQUENCE BY d AS (*X, *Y, Z)
+		WHERE X.p > X.previous.p AND Y.p < Y.previous.p AND Z.p > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := qr.ExplainGraph(3)
+	if !strings.Contains(dot, "digraph G_P_3") {
+		t.Errorf("bad DOT:\n%s", dot)
+	}
+	if qr.ExplainGraph(1) != "" || qr.ExplainGraph(99) != "" {
+		t.Error("out-of-range j should render nothing")
+	}
+	plain, err := db.Prepare(`SELECT p FROM q WHERE p > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ExplainGraph(2) != "" {
+		t.Error("plain query should render nothing")
+	}
+}

@@ -1,0 +1,569 @@
+// Package sqlts is a sequence-database engine implementing SQL-TS, the
+// sequential-pattern query language of Sadri & Zaniolo, "Optimization of
+// Sequence Queries in Database Systems" (PODS 2001), together with the
+// paper's OPS optimizer — a generalization of Knuth–Morris–Pratt string
+// matching to patterns whose elements are arbitrary predicate
+// conjunctions, including one-or-more (star) repetitions.
+//
+// Quick start:
+//
+//	db := sqlts.New()
+//	db.MustExec(`CREATE TABLE quote (name VARCHAR(8), date DATE, price REAL)`)
+//	db.MustExec(`INSERT INTO quote VALUES ('INTC','1999-01-25',60), ...`)
+//	res, err := db.Query(`
+//	    SELECT X.name FROM quote
+//	      CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+//	    WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`)
+//
+// Queries compile through the full pipeline: parse → semantic analysis →
+// per-element predicate systems → GSW implication engine → θ/φ matrices →
+// shift/next tables → OPS execution. Prepare exposes the compiled plan
+// (Explain, executor selection, runtime statistics) for experimentation.
+package sqlts
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqlts/internal/core"
+	"sqlts/internal/engine"
+	"sqlts/internal/pattern"
+	"sqlts/internal/query"
+	"sqlts/internal/storage"
+)
+
+// DB is an in-memory sequence database: a set of named tables plus
+// per-table metadata (positive-domain column declarations). A DB is safe
+// for concurrent use by multiple goroutines.
+type DB struct {
+	mu       sync.RWMutex
+	tables   map[string]*storage.Table
+	positive map[string][]string // table → positive-domain columns
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		tables:   map[string]*storage.Table{},
+		positive: map[string][]string{},
+	}
+}
+
+// Exec runs one or more semicolon-separated DDL/DML statements
+// (CREATE TABLE, INSERT INTO ... VALUES).
+func (db *DB) Exec(sql string) error {
+	stmts, err := query.ParseScript(sql)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *query.CreateTableStmt:
+			if err := db.createTable(s); err != nil {
+				return err
+			}
+		case *query.InsertStmt:
+			if err := db.insert(s); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sqlts: Exec only accepts CREATE TABLE and INSERT; use Query for SELECT")
+		}
+	}
+	return nil
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (db *DB) MustExec(sql string) {
+	if err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+func (db *DB) createTable(s *query.CreateTableStmt) error {
+	key := strings.ToLower(s.Name)
+	if _, dup := db.tables[key]; dup {
+		return fmt.Errorf("sqlts: table %q already exists", s.Name)
+	}
+	cols := make([]storage.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = storage.Column{Name: c.Name, Type: c.Type}
+	}
+	schema, err := storage.NewSchema(cols...)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = storage.NewTable(s.Name, schema)
+	return nil
+}
+
+func (db *DB) insert(s *query.InsertStmt) error {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return fmt.Errorf("sqlts: no table %q", s.Table)
+	}
+	for _, row := range s.Rows {
+		vals := make([]storage.Value, len(row))
+		for i, e := range row {
+			v, err := query.EvalConst(e)
+			if err != nil {
+				return fmt.Errorf("sqlts: INSERT INTO %s: %w", s.Table, err)
+			}
+			// Re-parse strings against date columns for convenience.
+			if i < t.Schema.Len() && t.Schema.Columns[i].Type == storage.TypeDate && v.Type() == storage.TypeString {
+				d, err := storage.ParseValue(v.Str(), storage.TypeDate)
+				if err != nil {
+					return fmt.Errorf("sqlts: INSERT INTO %s: %w", s.Table, err)
+				}
+				v = d
+			}
+			vals[i] = v
+		}
+		if err := t.Insert(vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterTable adds (or replaces) a table built programmatically.
+func (db *DB) RegisterTable(t *storage.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *storage.Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames lists the registered tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		out = append(out, db.tables[k].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadCSV reads CSV data (header row required) into a new table with the
+// given schema and registers it.
+func (db *DB) LoadCSV(name string, schema *storage.Schema, r io.Reader) error {
+	t, err := storage.ReadCSV(name, schema, r)
+	if err != nil {
+		return err
+	}
+	db.RegisterTable(t)
+	return nil
+}
+
+// DeclarePositive declares that the named numeric columns of a table hold
+// strictly positive values. The declaration enables the §6 ratio
+// transform, which the optimizer needs to reason about percentage
+// conditions such as price < 0.98 * previous.price.
+func (db *DB) DeclarePositive(table string, cols ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("sqlts: no table %q", table)
+	}
+	for _, c := range cols {
+		i, ok := t.Schema.ColumnIndex(c)
+		if !ok {
+			return fmt.Errorf("sqlts: no column %q in table %s", c, table)
+		}
+		if !t.Schema.Columns[i].Type.Numeric() {
+			return fmt.Errorf("sqlts: column %q is not numeric", c)
+		}
+	}
+	key := strings.ToLower(table)
+	db.positive[key] = append(db.positive[key], cols...)
+	return nil
+}
+
+// ExecutorKind selects the runtime algorithm for a prepared query.
+type ExecutorKind uint8
+
+// Executor kinds. Auto uses OPS (the optimized executor); the others are
+// for experiments and benchmarks.
+const (
+	Auto ExecutorKind = iota
+	NaiveExec
+	OPSExec
+	OPSShiftOnlyExec
+	OPSNoCountersExec
+	// OPSSkipExec is OPS plus the last-row-skip extension (consume a
+	// failed tuple without re-testing when the optimizer proved it
+	// satisfies the resumed element; see core.Tables.SkipOK).
+	OPSSkipExec
+)
+
+// String names the executor kind.
+func (k ExecutorKind) String() string {
+	switch k {
+	case NaiveExec:
+		return "naive"
+	case OPSExec, Auto:
+		return "ops"
+	case OPSShiftOnlyExec:
+		return "ops-shift-only"
+	case OPSNoCountersExec:
+		return "ops-no-counters"
+	case OPSSkipExec:
+		return "ops+skip"
+	default:
+		return fmt.Sprintf("ExecutorKind(%d)", uint8(k))
+	}
+}
+
+// RunOptions configure one execution of a prepared query.
+type RunOptions struct {
+	Executor ExecutorKind
+	// Overlap reports overlapping occurrences (engine.SkipToNextRow)
+	// instead of the paper's default left-maximal semantics.
+	Overlap bool
+	// Trace records the (i, j) search path (Figure 5); retrieve it with
+	// Query.LastPath. Trace forces serial execution.
+	Trace bool
+	// Parallel searches clusters concurrently (one goroutine per cluster,
+	// bounded by GOMAXPROCS). Results are identical to serial execution,
+	// including row order.
+	Parallel bool
+}
+
+// Result is the outcome of a query execution.
+type Result struct {
+	Columns []string
+	Types   []storage.Type
+	Rows    []storage.Row
+	// Stats aggregates runtime counters across all clusters.
+	Stats engine.Stats
+	// Matches holds the raw match intervals per cluster, for tooling.
+	Matches []ClusterMatches
+}
+
+// ClusterMatches are the matches found within one cluster.
+type ClusterMatches struct {
+	// Cluster is the 0-based cluster index in first-appearance order.
+	Cluster int
+	Matches []engine.Match
+}
+
+// Query is a prepared SQL-TS SELECT: parsed, analyzed, and optimized.
+type Query struct {
+	db       *DB
+	compiled *query.Compiled
+	tables   *core.Tables
+	lastPath []engine.PathPoint
+}
+
+// Prepare parses, analyzes and optimizes a SELECT statement.
+func (db *DB) Prepare(sql string) (*Query, error) {
+	st, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*query.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlts: Prepare expects a SELECT statement")
+	}
+	db.mu.RLock()
+	t := db.tables[strings.ToLower(sel.Table)]
+	positive := append([]string(nil), db.positive[strings.ToLower(sel.Table)]...)
+	db.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("sqlts: no table %q", sel.Table)
+	}
+	compiled, err := query.Analyze(sel, t.Schema, query.AnalyzeOptions{
+		PositiveColumns: positive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{db: db, compiled: compiled}
+	if compiled.Pattern != nil {
+		q.tables = core.Compute(compiled.Pattern)
+	}
+	return q, nil
+}
+
+// Query prepares and runs a SELECT with default options.
+func (db *DB) Query(sql string) (*Result, error) {
+	q, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run()
+}
+
+// Pattern exposes the compiled pattern (nil for plain SELECTs).
+func (q *Query) Pattern() *pattern.Pattern { return q.compiled.Pattern }
+
+// Tables exposes the optimizer tables (nil for plain SELECTs).
+func (q *Query) Tables() *core.Tables { return q.tables }
+
+// Explain renders the compiled plan: the pattern, its predicate systems,
+// and the optimizer matrices and arrays.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	if q.compiled.Pattern == nil {
+		b.WriteString("plain relational scan (no sequence pattern)\n")
+		return b.String()
+	}
+	p := q.compiled.Pattern
+	fmt.Fprintf(&b, "pattern %s over %s\n", p, q.compiled.Table)
+	if len(q.compiled.ClusterBy) > 0 {
+		fmt.Fprintf(&b, "cluster by %s\n", strings.Join(q.compiled.ClusterBy, ", "))
+	}
+	if len(q.compiled.SequenceBy) > 0 {
+		fmt.Fprintf(&b, "sequence by %s\n", strings.Join(q.compiled.SequenceBy, ", "))
+	}
+	for _, e := range p.Elems {
+		star := " "
+		if e.Star {
+			star = "*"
+		}
+		fmt.Fprintf(&b, "  %s%-4s %s", star, e.Name, e.Sys)
+		for _, cc := range e.CrossConds {
+			fmt.Fprintf(&b, " AND [cross] %s", cc.Key)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	b.WriteString(q.tables.Explain())
+	return b.String()
+}
+
+// ExplainGraph renders the §5.1 implication graph G_P^j for a failure at
+// pattern element j (1-based) in Graphviz DOT format, with the
+// shift-determining paths highlighted. It returns "" for plain SELECTs
+// or out-of-range j.
+func (q *Query) ExplainGraph(j int) string {
+	p := q.compiled.Pattern
+	if p == nil || j < 2 || j > p.Len() {
+		return ""
+	}
+	return core.GraphDOT(p, j)
+}
+
+// Run executes the query with default options (OPS, left-maximal).
+func (q *Query) Run() (*Result, error) { return q.RunWith(RunOptions{}) }
+
+// LastPath returns the search path recorded by the last RunWith call that
+// set Trace (concatenated across clusters).
+func (q *Query) LastPath() []engine.PathPoint { return q.lastPath }
+
+// RunWith executes the query with explicit options.
+func (q *Query) RunWith(opts RunOptions) (*Result, error) {
+	t := q.db.Table(q.compiled.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlts: table %q disappeared", q.compiled.Table)
+	}
+	res := &Result{
+		Columns: append([]string(nil), q.compiled.OutNames...),
+		Types:   append([]storage.Type(nil), q.compiled.OutTypes...),
+	}
+	if q.compiled.AlwaysEmpty() {
+		return res, nil
+	}
+
+	if q.compiled.Pattern == nil {
+		for _, row := range t.Rows {
+			out, ok, err := q.compiled.EvalPlainRow(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Rows = append(res.Rows, out)
+			}
+		}
+		return res, nil
+	}
+
+	clusters, err := t.Cluster(q.compiled.ClusterBy, q.compiled.SequenceBy)
+	if err != nil {
+		return nil, err
+	}
+	policy := engine.SkipPastLastRow
+	if opts.Overlap {
+		policy = engine.SkipToNextRow
+	}
+	q.lastPath = nil
+	if opts.Parallel && !opts.Trace && len(clusters) > 1 {
+		return q.runParallel(res, clusters, opts, policy)
+	}
+	ex := q.newExecutor(opts, policy)
+	for ci, seq := range clusters {
+		ms, stats := ex.FindAll(seq)
+		res.Stats.Add(stats)
+		if opts.Trace {
+			q.lastPath = append(q.lastPath, pathOf(ex)...)
+		}
+		if len(ms) > 0 {
+			res.Matches = append(res.Matches, ClusterMatches{Cluster: ci, Matches: ms})
+		}
+		for _, m := range ms {
+			row, err := q.compiled.EvalSelect(seq, m.Spans)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// runParallel searches clusters concurrently. Each worker gets its own
+// executor (executors carry per-search state); per-cluster results are
+// stitched back in cluster order so output is identical to serial runs.
+func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
+	type clusterOut struct {
+		matches []engine.Match
+		rows    []storage.Row
+		stats   engine.Stats
+		err     error
+	}
+	outs := make([]clusterOut, len(clusters))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(clusters) {
+		workers = len(clusters)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := q.newExecutor(opts, policy)
+			for ci := range next {
+				seq := clusters[ci]
+				ms, stats := ex.FindAll(seq)
+				out := clusterOut{matches: ms, stats: stats}
+				for _, m := range ms {
+					row, err := q.compiled.EvalSelect(seq, m.Spans)
+					if err != nil {
+						out.err = err
+						break
+					}
+					out.rows = append(out.rows, row)
+				}
+				outs[ci] = out
+			}
+		}()
+	}
+	for ci := range clusters {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+
+	for ci := range outs {
+		if outs[ci].err != nil {
+			return nil, outs[ci].err
+		}
+		res.Stats.Add(outs[ci].stats)
+		if len(outs[ci].matches) > 0 {
+			res.Matches = append(res.Matches, ClusterMatches{Cluster: ci, Matches: outs[ci].matches})
+		}
+		res.Rows = append(res.Rows, outs[ci].rows...)
+	}
+	return res, nil
+}
+
+func (q *Query) newExecutor(opts RunOptions, policy engine.SkipPolicy) engine.Executor {
+	p := q.compiled.Pattern
+	switch opts.Executor {
+	case NaiveExec:
+		n := engine.NewNaive(p, policy)
+		if opts.Trace {
+			n.Trace()
+		}
+		return n
+	case OPSShiftOnlyExec:
+		return engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, ShiftOnly: true})
+	case OPSNoCountersExec:
+		return engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, NoCounters: true})
+	case OPSSkipExec:
+		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, LastRowSkip: true})
+		if opts.Trace {
+			o.Trace()
+		}
+		return o
+	default:
+		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy})
+		if opts.Trace {
+			o.Trace()
+		}
+		return o
+	}
+}
+
+func pathOf(ex engine.Executor) []engine.PathPoint {
+	switch e := ex.(type) {
+	case *engine.Naive:
+		return e.Path()
+	case *engine.OPS:
+		return e.Path()
+	default:
+		return nil
+	}
+}
+
+// Format renders a result as an aligned text table, for the CLI and
+// examples.
+func (r *Result) Format(w io.Writer) error {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[ri][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,193 @@
+package sqlts
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlts/internal/engine"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// StreamOptions configure a continuous query.
+type StreamOptions struct {
+	// Overlap reports overlapping occurrences (engine.SkipToNextRow).
+	Overlap bool
+	// LastRowSkip enables the last-row-skip runtime extension.
+	LastRowSkip bool
+	// MaxBuffer bounds the per-cluster retained window (0 = unbounded);
+	// matches longer than the bound are abandoned.
+	MaxBuffer int
+}
+
+// Stream is a continuous (push-based) execution of a prepared SQL-TS
+// query: tuples are pushed in arrival order and the SELECT output row of
+// every completed match is delivered to the sink immediately. Tuples are
+// routed to one incremental matcher per CLUSTER BY key; within each
+// cluster the SEQUENCE BY values must arrive in non-decreasing order
+// (out-of-order input is rejected — a continuous query cannot re-sort an
+// unbounded past).
+type Stream struct {
+	q        *Query
+	opts     StreamOptions
+	sink     func(storage.Row) error
+	clusters map[string]*clusterStream
+	seqIdx   []int
+	cluIdx   []int
+	sinkErr  error
+	closed   bool
+}
+
+type clusterStream struct {
+	s       *engine.Streamer
+	lastSeq storage.Row // last sequence-by key values
+}
+
+// OpenStream starts a continuous execution of the query. The sink is
+// called synchronously from Push/Close with each match's output row; a
+// sink error aborts the stream (surfaced by the failing Push/Close).
+func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*Stream, error) {
+	if q.compiled.Pattern == nil {
+		return nil, fmt.Errorf("sqlts: OpenStream requires a sequence pattern query")
+	}
+	st := &Stream{
+		q:        q,
+		opts:     opts,
+		sink:     sink,
+		clusters: map[string]*clusterStream{},
+	}
+	for _, col := range q.compiled.SequenceBy {
+		i, _ := q.compiled.Schema.ColumnIndex(col)
+		st.seqIdx = append(st.seqIdx, i)
+	}
+	for _, col := range q.compiled.ClusterBy {
+		i, _ := q.compiled.Schema.ColumnIndex(col)
+		st.cluIdx = append(st.cluIdx, i)
+	}
+	return st, nil
+}
+
+// Push delivers one tuple (in table column order). It returns the first
+// sink error, an ordering violation, or a schema mismatch.
+func (st *Stream) Push(vals ...storage.Value) error {
+	if st.closed {
+		return fmt.Errorf("sqlts: Push on a closed stream")
+	}
+	if st.sinkErr != nil {
+		return st.sinkErr
+	}
+	schema := st.q.compiled.Schema
+	if len(vals) != schema.Len() {
+		return fmt.Errorf("sqlts: Push arity %d, want %d", len(vals), schema.Len())
+	}
+	row := make(storage.Row, len(vals))
+	for i, v := range vals {
+		if !v.IsNull() && v.Type() != schema.Columns[i].Type {
+			cv, err := v.Coerce(schema.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("sqlts: Push column %s: %w", schema.Columns[i].Name, err)
+			}
+			v = cv
+		}
+		row[i] = v
+	}
+
+	key := st.clusterKey(row)
+	cs := st.clusters[key]
+	if cs == nil {
+		cs = st.newClusterStream()
+		st.clusters[key] = cs
+	}
+	// Enforce SEQUENCE BY arrival order within the cluster.
+	if len(st.seqIdx) > 0 && cs.lastSeq != nil {
+		for _, si := range st.seqIdx {
+			c, err := cs.lastSeq[si].Compare(row[si])
+			if err != nil {
+				return fmt.Errorf("sqlts: sequence-by comparison: %w", err)
+			}
+			if c > 0 {
+				return fmt.Errorf("sqlts: out-of-order tuple for cluster %q: %s after %s",
+					key, row[si], cs.lastSeq[si])
+			}
+			if c < 0 {
+				break
+			}
+		}
+	}
+	cs.lastSeq = row
+	if err := cs.s.Push(row); err != nil {
+		return err
+	}
+	return st.sinkErr
+}
+
+func (st *Stream) newClusterStream() *clusterStream {
+	cs := &clusterStream{}
+	policy := engine.SkipPastLastRow
+	if st.opts.Overlap {
+		policy = engine.SkipToNextRow
+	}
+	cs.s = engine.NewStreamer(st.q.compiled.Pattern, engine.StreamConfig{
+		Policy:      policy,
+		LastRowSkip: st.opts.LastRowSkip,
+		MaxBuffer:   st.opts.MaxBuffer,
+	}, func(m engine.Match) {
+		if st.sinkErr != nil {
+			return
+		}
+		// Evaluate output expressions against the matcher's retained
+		// window (still covering the match during emission). References
+		// past the match end (e.g. a trailing X.next) resolve to NULL if
+		// that tuple has not arrived yet — streaming emits eagerly.
+		window, base := cs.s.Window()
+		spans := make([]pattern.Span, len(m.Spans))
+		for k, sp := range m.Spans {
+			if sp.Set {
+				spans[k] = pattern.Span{Start: sp.Start - base, End: sp.End - base, Set: true}
+			}
+		}
+		row, err := st.q.compiled.EvalSelect(window, spans)
+		if err != nil {
+			st.sinkErr = err
+			return
+		}
+		if err := st.sink(row); err != nil {
+			st.sinkErr = err
+		}
+	})
+	return cs
+}
+
+func (st *Stream) clusterKey(row storage.Row) string {
+	if len(st.cluIdx) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, i := range st.cluIdx {
+		b.WriteString(row[i].String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Close flushes every cluster (completing trailing-star matches) and
+// returns the first error encountered.
+func (st *Stream) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	for _, cs := range st.clusters {
+		cs.s.Flush()
+	}
+	return st.sinkErr
+}
+
+// Stats aggregates runtime counters across all clusters.
+func (st *Stream) Stats() engine.Stats {
+	var out engine.Stats
+	for _, cs := range st.clusters {
+		out.Add(cs.s.Stats())
+	}
+	return out
+}

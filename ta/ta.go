@@ -1,0 +1,172 @@
+// Package ta is a library of ready-made technical-analysis sequence
+// patterns — the paper's motivating application domain (§1, §7) — built
+// on the sqlts engine. Each pattern is expressed over a (date, price)
+// series with a configurable "relaxation" threshold: moves smaller than
+// the threshold count as flat, exactly like the paper's relaxed double
+// bottom ("if the price moves less than 2%, we consider it as if it
+// hasn't changed", Figure 6).
+//
+// Patterns are returned as SQL-TS query text parameterized by table
+// name, so they compose with the rest of the engine (Prepare, Explain,
+// RunWith, OpenStream):
+//
+//	db := sqlts.New()
+//	db.RegisterTable(workload.SeriesTable("djia", 0, prices))
+//	db.DeclarePositive("djia", "price")
+//	q, _ := db.Prepare(ta.DoubleBottom("djia", 0.02))
+//	res, _ := q.Run()
+package ta
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlts"
+	"sqlts/internal/storage"
+)
+
+// fmtPct renders 1±threshold factors with enough digits to round-trip.
+func fmtPct(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.10f", f), "0"), ".")
+}
+
+// clauses builds the four relaxed-move condition fragments for a
+// variable: up (rise > t), down (fall > t), and the two flat bounds.
+type moves struct{ lo, hi string }
+
+func movesOf(threshold float64) moves {
+	return moves{lo: fmtPct(1 - threshold), hi: fmtPct(1 + threshold)}
+}
+
+func (m moves) up(v string) string {
+	return fmt.Sprintf("%s.price > %s * %s.previous.price", v, m.hi, v)
+}
+func (m moves) down(v string) string {
+	return fmt.Sprintf("%s.price < %s * %s.previous.price", v, m.lo, v)
+}
+func (m moves) flat(v string) string {
+	return fmt.Sprintf("%s * %s.previous.price < %s.price AND %s.price < %s * %s.previous.price",
+		m.lo, v, v, v, m.hi, v)
+}
+
+// DoubleBottom is the paper's Example 10: a local maximum surrounded by
+// two local minima under the relaxation threshold (0.02 reproduces the
+// paper's 2%). Output: the pattern's start/end dates and prices.
+func DoubleBottom(table string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT X.next.date AS start_date, X.next.price AS start_price,
+		       S.previous.date AS end_date, S.previous.price AS end_price
+		FROM %s
+		  SEQUENCE BY date
+		  AS (X, *Y, *Z, *T, *U, *V, *W, *R, S)
+		WHERE X.price >= %s * X.previous.price
+		  AND %s AND %s AND %s AND %s AND %s AND %s AND %s
+		  AND S.price <= %s * S.previous.price`,
+		table, m.lo,
+		m.down("Y"), m.flat("Z"), m.up("T"), m.flat("U"),
+		m.down("V"), m.flat("W"), m.up("R"),
+		m.hi)
+}
+
+// DoubleTop is the mirror image: a local minimum surrounded by two local
+// maxima (an "M" shape).
+func DoubleTop(table string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT X.next.date AS start_date, X.next.price AS start_price,
+		       S.previous.date AS end_date, S.previous.price AS end_price
+		FROM %s
+		  SEQUENCE BY date
+		  AS (X, *Y, *Z, *T, *U, *V, *W, *R, S)
+		WHERE X.price <= %s * X.previous.price
+		  AND %s AND %s AND %s AND %s AND %s AND %s AND %s
+		  AND S.price >= %s * S.previous.price`,
+		table, m.hi,
+		m.up("Y"), m.flat("Z"), m.down("T"), m.flat("U"),
+		m.up("V"), m.flat("W"), m.down("R"),
+		m.lo)
+}
+
+// VReversal finds a fall of one or more relaxed-down days immediately
+// followed by a rise of one or more relaxed-up days, reporting the turn
+// date and the depth statistics.
+func VReversal(table string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT FIRST(D).date AS fall_start, LAST(D).date AS turn_date,
+		       MIN(D.price) AS bottom, COUNT(D) AS fall_days, COUNT(U) AS rise_days
+		FROM %s
+		  SEQUENCE BY date
+		  AS (*D, *U)
+		WHERE %s AND %s`,
+		table, m.down("D"), m.up("U"))
+}
+
+// Rally finds maximal runs of consecutive relaxed-up days, reporting the
+// span, its length and the endpoint prices (filter on the days column
+// for a minimum length; aggregates cannot appear in WHERE).
+func Rally(table string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT FIRST(U).date AS start_date, LAST(U).date AS end_date,
+		       COUNT(U) AS days, FIRST(U).price AS start_price, LAST(U).price AS end_price
+		FROM %s
+		  SEQUENCE BY date
+		  AS (*U)
+		WHERE %s`,
+		table, m.up("U"))
+}
+
+// Crash finds single-step falls of more than threshold (e.g. 0.05 for
+// -5% days) with their recovery context.
+func Crash(table string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT C.date AS crash_date, C.previous.price AS before, C.price AS after
+		FROM %s
+		  SEQUENCE BY date
+		  AS (C)
+		WHERE %s`,
+		table, m.down("C"))
+}
+
+// HeadAndShoulders finds the classic three-peak pattern: rise/fall
+// (left shoulder), higher rise/fall (head), lower rise/fall (right
+// shoulder). The peak comparisons are cross conditions anchored at the
+// start of the following downtrend: FIRST(D).previous is the head's peak
+// (the last tuple of C), compared against LAST(A), the left shoulder's
+// peak — and symmetrically for the right shoulder.
+func HeadAndShoulders(table string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT FIRST(A).date AS start_date, LAST(F).date AS end_date,
+		       MAX(C.price) AS head
+		FROM %s
+		  SEQUENCE BY date
+		  AS (*A, *B, *C, *D, *E, *F)
+		WHERE %s AND %s AND %s AND %s AND %s AND %s
+		  AND FIRST(D).previous.price > LAST(A).price
+		  AND FIRST(F).previous.price < LAST(C).price`,
+		table,
+		m.up("A"), m.down("B"), m.up("C"), m.down("D"), m.up("E"), m.down("F"))
+}
+
+// Series is a convenience for registering a (date, price) series table.
+func Series(db *sqlts.DB, name string, startDay int64, prices []float64) error {
+	schema, err := storage.NewSchema(
+		storage.Column{Name: "date", Type: storage.TypeDate},
+		storage.Column{Name: "price", Type: storage.TypeFloat},
+	)
+	if err != nil {
+		return err
+	}
+	t := storage.NewTable(name, schema)
+	for i, p := range prices {
+		if err := t.Insert(storage.NewDateDays(startDay+int64(i)), storage.NewFloat(p)); err != nil {
+			return err
+		}
+	}
+	db.RegisterTable(t)
+	return db.DeclarePositive(name, "price")
+}

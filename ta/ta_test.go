@@ -1,0 +1,165 @@
+package ta
+
+import (
+	"testing"
+
+	"sqlts"
+	"sqlts/internal/workload"
+)
+
+func seriesDB(t *testing.T, prices []float64) *sqlts.DB {
+	t.Helper()
+	db := sqlts.New()
+	if err := Series(db, "djia", 0, prices); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func run(t *testing.T, db *sqlts.DB, sql string) *sqlts.Result {
+	t.Helper()
+	q, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatalf("prepare: %v\n%s", err, sql)
+	}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Every pattern must also agree with the naive executor.
+	nres, err := q.RunWith(sqlts.RunOptions{Executor: sqlts.NaiveExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nres.Rows) != len(res.Rows) {
+		t.Fatalf("ops %d rows, naive %d rows", len(res.Rows), len(nres.Rows))
+	}
+	return res
+}
+
+func TestDoubleBottomOnPlantedSeries(t *testing.T) {
+	prices := workload.GeometricWalk(workload.WalkConfig{Seed: 5, N: 1500, Start: 1000, Drift: 0.0002, Vol: 0.01})
+	for i := 0; i < 3; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/4)
+	}
+	db := seriesDB(t, prices)
+	res := run(t, db, DoubleBottom("djia", 0.02))
+	if len(res.Rows) < 3 {
+		t.Fatalf("found %d double bottoms, want at least the 3 planted", len(res.Rows))
+	}
+	if res.Columns[0] != "start_date" || res.Columns[3] != "end_price" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestDoubleTopMirrors(t *testing.T) {
+	// Mirror a planted double bottom: 2/p turns valleys into peaks.
+	prices := workload.GeometricWalk(workload.WalkConfig{Seed: 6, N: 800, Start: 1000, Drift: 0, Vol: 0.01})
+	for i := 0; i < 2; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/3)
+	}
+	inverted := make([]float64, len(prices))
+	for i, p := range prices {
+		inverted[i] = 1e6 / p
+	}
+	dbBottom := seriesDB(t, prices)
+	dbTop := seriesDB(t, inverted)
+	nb := len(run(t, dbBottom, DoubleBottom("djia", 0.02)).Rows)
+	nt := len(run(t, dbTop, DoubleTop("djia", 0.02)).Rows)
+	if nb < 2 {
+		t.Fatalf("double bottoms = %d, want at least the 2 planted", nb)
+	}
+	// Inversion is not exactly threshold-symmetric (a -2% move inverts
+	// to +2.04%), so counts may differ slightly at relaxation boundaries.
+	if nt < 2 || nt > nb+2 || nb > nt+2 {
+		t.Errorf("double tops on inverted series = %d vs bottoms = %d; expected close counts", nt, nb)
+	}
+}
+
+func TestVReversal(t *testing.T) {
+	db := seriesDB(t, []float64{100, 96, 92, 89, 93, 97, 99, 99.1})
+	res := run(t, db, VReversal("djia", 0.02))
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[2].Float() != 89 {
+		t.Errorf("bottom = %v, want 89", row[2])
+	}
+	if row[3].Int() != 3 || row[4].Int() != 3 {
+		t.Errorf("fall/rise days = %v/%v, want 3/3", row[3], row[4])
+	}
+}
+
+func TestRally(t *testing.T) {
+	db := seriesDB(t, []float64{100, 104, 109, 114, 113, 112, 116, 121})
+	res := run(t, db, Rally("djia", 0.02))
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][2].Int() != 3 { // 104, 109, 114
+		t.Errorf("first rally days = %v, want 3", res.Rows[0][2])
+	}
+	if res.Rows[1][2].Int() != 2 { // 116, 121
+		t.Errorf("second rally days = %v, want 2", res.Rows[1][2])
+	}
+}
+
+func TestCrash(t *testing.T) {
+	db := seriesDB(t, []float64{100, 99, 93, 94, 88, 89})
+	res := run(t, db, Crash("djia", 0.05))
+	if len(res.Rows) != 2 { // 99→93 (-6.1%), 94→88 (-6.4%)
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestHeadAndShoulders(t *testing.T) {
+	// left shoulder to 110, head to 125, right shoulder to 119.
+	prices := []float64{
+		100, 105, 110, // *A up to 110
+		104, 99, // *B down
+		109, 120, 125, // *C up to 125 (head > 110)
+		118, 111, // *D down
+		116, 119, // *E up to 119 (< 125)
+		112, 106, // *F down
+		107,
+	}
+	db := seriesDB(t, prices)
+	res := run(t, db, HeadAndShoulders("djia", 0.02))
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][2].Float() != 125 {
+		t.Errorf("head = %v, want 125", res.Rows[0][2])
+	}
+
+	// A flat-headed variant (head not above the left shoulder) must not
+	// match.
+	flat := []float64{100, 105, 110, 104, 99, 104, 108, 103, 99, 104, 106, 101, 97, 98}
+	db2 := seriesDB(t, flat)
+	res2 := run(t, db2, HeadAndShoulders("djia", 0.02))
+	if len(res2.Rows) != 0 {
+		t.Errorf("flat-headed series matched: %v", res2.Rows)
+	}
+}
+
+func TestExplainAllPatterns(t *testing.T) {
+	db := seriesDB(t, []float64{1, 2, 3})
+	for name, sql := range map[string]string{
+		"double-bottom":      DoubleBottom("djia", 0.02),
+		"double-top":         DoubleTop("djia", 0.02),
+		"v-reversal":         VReversal("djia", 0.02),
+		"rally":              Rally("djia", 0.02),
+		"crash":              Crash("djia", 0.05),
+		"head-and-shoulders": HeadAndShoulders("djia", 0.02),
+	} {
+		q, err := db.Prepare(sql)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if q.Explain() == "" {
+			t.Errorf("%s: empty explain", name)
+		}
+	}
+}
