@@ -9,6 +9,10 @@
 //	      [-explain] [-stats]
 //	sqlts -c "SELECT ... FROM t SEQUENCE BY d AS (X, *Y) WHERE ..." ...
 //
+// EXPLAIN [ANALYZE] SELECT ... statements print the compiled plan;
+// ANALYZE executes the query and annotates the plan with per-phase
+// timings and runtime counters.
+//
 // Example:
 //
 //	tsgen -kind djia -n 6300 > djia.csv
@@ -126,7 +130,7 @@ func run() error {
 			if err := db.Exec(stmtText(s)); err != nil {
 				return err
 			}
-		case *query.SelectStmt:
+		case *query.SelectStmt, *query.ExplainStmt:
 			q, err := db.Prepare(stmtText(s))
 			if err != nil {
 				return err

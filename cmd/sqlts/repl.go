@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"sqlts"
 	"sqlts/internal/query"
@@ -18,13 +19,19 @@ import (
 //	\tables       list tables
 //	\explain      toggle plan printing
 //	\exec NAME    switch executor (ops, naive, ops+skip, ...)
-//	\stats        toggle statistics printing
+//	\stats        toggle statistics printing (per-query counters)
+//	\timing [on|off]  toggle wall-clock timing of each statement
+//	\metrics      dump the Prometheus metrics registry
+//
+// EXPLAIN [ANALYZE] SELECT ... statements pass through to the engine
+// and print the rendered plan.
 func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, overlap bool) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var buf strings.Builder
 	explain := false
 	stats := false
+	timing := false
 	fmt.Fprintln(out, `sqlts interactive shell — end statements with ';', \q to quit`)
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -51,7 +58,26 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 				fmt.Fprintf(out, "explain: %v\n", explain)
 			case trimmed == `\stats`:
 				stats = !stats
-				fmt.Fprintf(out, "stats: %v\n", stats)
+				fmt.Fprintf(out, "stats: %v\n", onOff(stats))
+			case trimmed == `\timing` || strings.HasPrefix(trimmed, `\timing `):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\timing`))
+				switch arg {
+				case "":
+					timing = !timing
+				case "on":
+					timing = true
+				case "off":
+					timing = false
+				default:
+					fmt.Fprintf(out, "usage: \\timing [on|off]\n")
+					prompt()
+					continue
+				}
+				fmt.Fprintf(out, "timing: %v\n", onOff(timing))
+			case trimmed == `\metrics`:
+				if err := db.WriteMetrics(out); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
 			case strings.HasPrefix(trimmed, `\exec `):
 				k, err := parseExec(strings.TrimSpace(strings.TrimPrefix(trimmed, `\exec `)))
 				if err != nil {
@@ -74,7 +100,9 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 		}
 		src := buf.String()
 		buf.Reset()
-		if err := execStatements(db, src, out, kind, overlap, explain, stats); err != nil {
+		if err := execStatements(db, src, out, execOpts{
+			kind: kind, overlap: overlap, explain: explain, stats: stats, timing: timing,
+		}); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 		prompt()
@@ -82,23 +110,46 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 	return sc.Err()
 }
 
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+// execOpts carry the REPL toggles into statement execution.
+type execOpts struct {
+	kind    sqlts.ExecutorKind
+	overlap bool
+	explain bool
+	stats   bool
+	timing  bool
+}
+
 // execStatements parses and runs a script fragment in the REPL.
-func execStatements(db *sqlts.DB, src string, out io.Writer, kind sqlts.ExecutorKind, overlap, explain, stats bool) error {
+func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) error {
 	stmts, err := query.ParseScript(src)
 	if err != nil {
 		return err
 	}
 	for _, st := range stmts {
-		switch s := st.(type) {
-		case *query.SelectStmt:
-			q, err := db.Prepare(query.Render(s))
+		start := time.Now()
+		switch st := st.(type) {
+		case *query.SelectStmt, *query.ExplainStmt:
+			// A plain EXPLAIN never executes, so a counter line would
+			// always read zero — suppress it.
+			ranPattern := true
+			if ex, ok := st.(*query.ExplainStmt); ok && !ex.Analyze {
+				ranPattern = false
+			}
+			q, err := db.Prepare(query.Render(st))
 			if err != nil {
 				return err
 			}
-			if explain {
+			if opts.explain {
 				fmt.Fprintln(out, q.Explain())
 			}
-			res, err := q.RunWith(sqlts.RunOptions{Executor: kind, Overlap: overlap})
+			res, err := q.RunWith(sqlts.RunOptions{Executor: opts.kind, Overlap: opts.overlap})
 			if err != nil {
 				return err
 			}
@@ -106,15 +157,18 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, kind sqlts.Executor
 				return err
 			}
 			fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
-			if stats {
+			if opts.stats && ranPattern {
 				fmt.Fprintf(out, "executor=%s pred-evals=%d rollbacks=%d matches=%d\n",
-					kind, res.Stats.PredEvals, res.Stats.Rollbacks, res.Stats.Matches)
+					opts.kind, res.Stats.PredEvals, res.Stats.Rollbacks, res.Stats.Matches)
 			}
 		default:
 			if err := db.Exec(query.Render(st)); err != nil {
 				return err
 			}
 			fmt.Fprintln(out, "ok")
+		}
+		if opts.timing {
+			fmt.Fprintf(out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
 		}
 	}
 	return nil

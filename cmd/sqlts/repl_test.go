@@ -29,7 +29,7 @@ SELECT nosuch FROM q;
 	got := out.String()
 	for _, want := range []string{
 		"q (d DATE, p REAL) (3 rows)", // \tables
-		"stats: true",
+		"stats: on",
 		"executor: naive",
 		"(1 rows)",
 		"pred-evals=",             // stats line
@@ -41,6 +41,52 @@ SELECT nosuch FROM q;
 		if !strings.Contains(got, want) {
 			t.Errorf("REPL output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestREPLTimingStatsExplain covers the observability meta-commands:
+// \timing (toggle and on/off forms), \stats output, \metrics exposition
+// dump, and EXPLAIN ANALYZE passthrough.
+func TestREPLTimingStatsExplain(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader(`
+CREATE TABLE q (d DATE, p REAL);
+INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
+\timing on
+\stats
+SELECT A.p FROM q
+SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+EXPLAIN ANALYZE SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\timing off
+\timing
+\timing bogus
+\metrics
+\q
+`)
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"timing: on",
+		"timing: off",
+		"Time: ",                  // \timing on applied to the SELECT
+		"pred-evals=",             // \stats line
+		"QUERY PLAN",              // EXPLAIN ANALYZE passthrough
+		"Naive comparison:",       // analyze comparison section
+		"execute",                 // execution phase span
+		`usage: \timing [on|off]`, // bad argument
+		"sqlts_queries_total",     // \metrics exposition
+		"sqlts_query_duration_seconds_bucket",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+	// \timing off then \timing toggles back on.
+	if !strings.Contains(got, "timing: on\n") {
+		t.Errorf("toggle output missing:\n%s", got)
 	}
 }
 

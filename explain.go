@@ -1,0 +1,96 @@
+package sqlts
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlts/internal/engine"
+	"sqlts/internal/obs"
+	"sqlts/internal/storage"
+)
+
+// planResult wraps rendered plan text as a one-column result, Postgres
+// style: one "QUERY PLAN" row per line. stats carries the primary run's
+// counters (zero for plain EXPLAIN) so callers that print statistics
+// after every SELECT keep working.
+func planResult(text string, stats engine.Stats) *Result {
+	res := &Result{
+		Columns: []string{"QUERY PLAN"},
+		Types:   []storage.Type{storage.TypeString},
+		Stats:   stats,
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, storage.Row{storage.NewString(line)})
+	}
+	return res
+}
+
+// ExplainAnalyze executes the query with the given options and renders
+// the compiled plan annotated with measured per-phase timings, runtime
+// counters, the per-cluster breakdown, and — when the primary executor
+// is not naive — a naive-vs-OPS predicate-evaluation comparison (the
+// comparison re-executes the query with the naive executor; it is a
+// diagnostic, and its counters stay out of the metrics registry).
+func (q *Query) ExplainAnalyze(opts RunOptions) (string, error) {
+	text, _, err := q.explainAnalyzeText(opts)
+	return text, err
+}
+
+func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error) {
+	res, err := q.runMeasured(opts)
+	if err != nil {
+		return "", engine.Stats{}, err
+	}
+
+	var b strings.Builder
+	b.WriteString(q.Explain())
+	b.WriteString("\nPhases:\n")
+	// Render compile phases once plus the span of the run just measured
+	// (the last "execute" span — earlier runs appended their own).
+	spans := q.trace.Spans()
+	lastExec := -1
+	for i, sp := range spans {
+		if sp.Name == "execute" {
+			lastExec = i
+		}
+	}
+	keep := spans[:0:0]
+	for i, sp := range spans {
+		if sp.Name != "execute" || i == lastExec {
+			keep = append(keep, sp)
+		}
+	}
+	b.WriteString(indent(obs.FormatSpans(keep), "  "))
+
+	fmt.Fprintf(&b, "Executor %s: %s (%d result rows)\n", opts.Executor, res.Stats, len(res.Rows))
+	if cs := res.ClusterStats(); len(cs) > 1 {
+		b.WriteString("Clusters:\n")
+		for _, c := range cs {
+			fmt.Fprintf(&b, "  cluster %d: rows=%d %s\n", c.Cluster, c.Rows, c.Stats)
+		}
+	}
+
+	if opts.Executor != NaiveExec {
+		nopts := opts
+		nopts.Executor = NaiveExec
+		nres, _, nerr := q.execute(nopts)
+		if nerr != nil {
+			return "", engine.Stats{}, nerr
+		}
+		fmt.Fprintf(&b, "Naive comparison: %s\n", nres.Stats)
+		d := nres.Stats.Sub(res.Stats)
+		if nres.Stats.PredEvals > 0 {
+			fmt.Fprintf(&b, "  OPS saves %d predicate evaluations (%.1f%%), %d rollbacks\n",
+				d.PredEvals, 100*float64(d.PredEvals)/float64(nres.Stats.PredEvals), d.Rollbacks)
+		}
+	}
+	return b.String(), res.Stats, nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

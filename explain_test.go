@@ -1,0 +1,282 @@
+package sqlts
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlts/internal/storage"
+)
+
+// djiaDoubleBottomDB builds the hand-crafted series of
+// TestExample10DoubleBottom (one planted double bottom).
+func djiaDoubleBottomDB(t testing.TB) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec(`CREATE TABLE djia (date DATE, price REAL)`)
+	if err := db.DeclarePositive("djia", "price"); err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("djia")
+	prices := []float64{
+		100, 100.5, 95, 90, 90.5, 89.9, 95, 99, 99.5, 99.1,
+		94, 90, 90.2, 89.8, 95, 99, 99.5,
+	}
+	for i, p := range prices {
+		tbl.MustInsert(storage.NewDateDays(int64(20000+i)), storage.NewFloat(p))
+	}
+	return db
+}
+
+// TestExplainAnalyzeDoubleBottom runs EXPLAIN ANALYZE end-to-end on the
+// README/§7 double-bottom query and checks the annotated plan: phase
+// timings for the whole compile/execute pipeline, the runtime counters,
+// and the naive-vs-OPS comparison.
+func TestExplainAnalyzeDoubleBottom(t *testing.T) {
+	db := djiaDoubleBottomDB(t)
+	q, err := db.Prepare(doubleBottomSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := q.ExplainAnalyze(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Phases:",
+		"parse", "analyze", "matrices", "shift/next", "execute",
+		"implication-checks=",
+		"PredEvals=", "Rollbacks=", "Matches=",
+		"Executor ops:",
+		"Naive comparison:",
+		"OPS saves",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "Matches=1") {
+		t.Errorf("expected exactly one double bottom in output:\n%s", text)
+	}
+}
+
+// TestExplainAnalyzeViaSQL routes EXPLAIN [ANALYZE] through DB.Query and
+// checks the QUERY PLAN result shape.
+func TestExplainAnalyzeViaSQL(t *testing.T) {
+	db := djiaDoubleBottomDB(t)
+
+	res, err := db.Query("EXPLAIN ANALYZE " + doubleBottomSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("columns = %v, want [QUERY PLAN]", res.Columns)
+	}
+	all := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		all[i] = r[0].Str()
+	}
+	text := strings.Join(all, "\n")
+	for _, want := range []string{"execute", "PredEvals=", "Naive comparison:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("SQL EXPLAIN ANALYZE missing %q:\n%s", want, text)
+		}
+	}
+	if res.Stats.Matches != 1 {
+		t.Errorf("Stats.Matches = %d, want 1", res.Stats.Matches)
+	}
+
+	// Plain EXPLAIN renders the plan without executing.
+	res, err = db.Query("EXPLAIN " + doubleBottomSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text = ""
+	for _, r := range res.Rows {
+		text += r[0].Str() + "\n"
+	}
+	if !strings.Contains(text, "shift") || strings.Contains(text, "Naive comparison") {
+		t.Errorf("plain EXPLAIN wrong:\n%s", text)
+	}
+	if !res.Stats.IsZero() {
+		t.Errorf("plain EXPLAIN executed the query: %v", res.Stats)
+	}
+}
+
+// TestQueryTrace checks that Prepare+Run record the lifecycle spans.
+func TestQueryTrace(t *testing.T) {
+	db := djiaDoubleBottomDB(t)
+	q, err := db.Prepare(doubleBottomSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range q.Trace().Spans() {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"parse", "analyze", "matrices", "shift/next"} {
+		if !names[want] {
+			t.Errorf("compile trace missing span %q (have %v)", want, names)
+		}
+	}
+	if names["execute"] {
+		t.Error("execute span before any run")
+	}
+	if _, err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range q.Trace().Spans() {
+		if sp.Name == "execute" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no execute span after run")
+	}
+}
+
+// TestClusterStats checks the per-cluster breakdown on both execution
+// paths: every cluster appears (with or without matches) and the
+// per-cluster counters sum to the aggregate.
+func TestClusterStats(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+	insertSeries(t, db, "IBM", 10000, 81, 80.5, 84, 83)
+	insertSeries(t, db, "ACME", 10000, 10, 12, 9, 9.5)
+	q, err := db.Prepare(`
+		SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+		WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []bool{false, true} {
+		res, err := q.RunWith(RunOptions{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := res.ClusterStats()
+		if len(cs) != 3 {
+			t.Fatalf("parallel=%v: cluster stats = %d entries, want 3", parallel, len(cs))
+		}
+		var sum = cs[0].Stats
+		rows := cs[0].Rows
+		for i, c := range cs[1:] {
+			if c.Cluster != i+1 {
+				t.Errorf("parallel=%v: cluster order %v", parallel, cs)
+			}
+			sum.Add(c.Stats)
+			rows += c.Rows
+		}
+		if sum != res.Stats {
+			t.Errorf("parallel=%v: per-cluster sum %v != aggregate %v", parallel, sum, res.Stats)
+		}
+		if rows != 12 {
+			t.Errorf("parallel=%v: rows = %d, want 12", parallel, rows)
+		}
+	}
+}
+
+// TestDBMetricsExposition drives a query plus a stream and checks the
+// Prometheus exposition: at least 8 distinct families with the expected
+// names and sane values.
+func TestDBMetricsExposition(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+	insertSeries(t, db, "IBM", 10000, 81, 80.5, 84, 83)
+	if _, err := db.Query(`
+		SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+		WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT X.name FROM nosuch AS (X, Y) WHERE Y.price > X.price`); err == nil {
+		t.Fatal("bad query succeeded")
+	}
+
+	q, err := db.Prepare(`
+		SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y)
+		WHERE Y.price > X.price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.OpenStream(StreamOptions{}, func(storage.Row) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []float64{10, 11, 12} {
+		if err := st.Push(storage.NewString("X"), storage.NewDateDays(int64(30000+i)), storage.NewFloat(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := db.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	fams := db.Metrics().Families()
+	if len(fams) < 8 {
+		t.Errorf("only %d metric families: %v", len(fams), fams)
+	}
+	for _, want := range []string{
+		"sqlts_queries_total 1",
+		"sqlts_query_errors_total 1",
+		"sqlts_rows_scanned_total 8",
+		"sqlts_clusters_scanned_total 2",
+		"sqlts_stream_pushes_total 3",
+		"sqlts_stream_active_clusters 0", // closed
+		"sqlts_query_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, family := range []string{
+		"sqlts_pred_evals_total", "sqlts_rollbacks_total", "sqlts_matches_total",
+		"sqlts_rows_returned_total", "sqlts_slow_queries_total", "sqlts_stream_matches_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+family) {
+			t.Errorf("exposition missing family %q", family)
+		}
+	}
+}
+
+// TestSlowQueryHook checks threshold crossing and the callback payload.
+func TestSlowQueryHook(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+	var got []SlowQueryInfo
+	db.SetSlowQueryThreshold(time.Nanosecond, func(info SlowQueryInfo) {
+		got = append(got, info)
+	})
+	const sql = `SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) WHERE Y.price > X.price`
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("slow-query callbacks = %d, want 1", len(got))
+	}
+	if got[0].SQL != sql || got[0].Duration <= 0 || got[0].Stats.IsZero() {
+		t.Errorf("slow-query info = %+v", got[0])
+	}
+
+	// Raising the threshold silences the hook.
+	db.SetSlowQueryThreshold(time.Hour, nil)
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("hook fired with %v threshold", time.Hour)
+	}
+	var b strings.Builder
+	if err := db.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sqlts_slow_queries_total 1") {
+		t.Error("slow query counter wrong")
+	}
+}

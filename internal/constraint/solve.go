@@ -3,6 +3,7 @@ package constraint
 import (
 	"math"
 	"math/big"
+	"sync/atomic"
 )
 
 // The numeric solver computes with exact rational arithmetic
@@ -397,10 +398,19 @@ func opaqueConflict(atoms []OpaqueAtom) bool {
 
 // --- System-level decisions -------------------------------------------------
 
+// queries counts decision-procedure invocations process-wide (nested
+// sub-queries included). The observability layer diffs it around matrix
+// computation to report how much implication work a compile performed.
+var queries atomic.Int64
+
+// Queries returns the process-wide count of solver decision queries.
+func Queries() int64 { return queries.Load() }
+
 // Satisfiable reports whether the conjunction has a model. Opaque atoms
 // are treated as free booleans, so they make a system unsatisfiable only
 // through a complementary pair.
 func (s *System) Satisfiable() bool {
+	queries.Add(1)
 	if opaqueConflict(s.Opaque) {
 		return false
 	}
@@ -417,6 +427,7 @@ func (s *System) Satisfiable() bool {
 // every atom must individually be a tautology, i.e. its negation must be
 // unsatisfiable. Opaque atoms are never tautologies.
 func (s *System) Tautology() bool {
+	queries.Add(1)
 	if len(s.Opaque) > 0 {
 		return false
 	}
@@ -437,6 +448,7 @@ func (s *System) Tautology() bool {
 // implies everything (callers that need the paper's "p ≢ F" guard test
 // Satisfiable separately).
 func (p *System) Implies(q *System) bool {
+	queries.Add(1)
 	if !p.Satisfiable() {
 		return true
 	}

@@ -34,7 +34,14 @@ type Tables struct {
 // between the §4.2 matrix formulas (star-free) and the §5.1 implication
 // graphs (patterns with at least one star element).
 func Compute(p *pattern.Pattern) *Tables {
-	m := ComputeMatrices(p)
+	return TablesFrom(p, ComputeMatrices(p))
+}
+
+// TablesFrom builds the shift/next tables from already-computed θ/φ
+// matrices. It is the second half of Compute, split out so callers can
+// time (and attribute) the implication work and the table construction
+// as separate compile phases.
+func TablesFrom(p *pattern.Pattern, m *Matrices) *Tables {
 	n := p.Len()
 	t := &Tables{
 		M:     n,

@@ -10,6 +10,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"sqlts/internal/pattern"
 	"sqlts/internal/storage"
 )
@@ -42,6 +44,28 @@ func (s *Stats) Add(other Stats) {
 	s.PredEvals += other.PredEvals
 	s.Rollbacks += other.Rollbacks
 	s.Matches += other.Matches
+}
+
+// Sub returns s - other, the counter deltas between two runs. It is how
+// EXPLAIN ANALYZE computes the naive-vs-OPS comparison; deltas may be
+// negative when other out-counts s.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		PredEvals: s.PredEvals - other.PredEvals,
+		Rollbacks: s.Rollbacks - other.Rollbacks,
+		Matches:   s.Matches - other.Matches,
+	}
+}
+
+// IsZero reports whether no counters have accumulated (the zero value —
+// e.g. the stats of a query that never executed).
+func (s Stats) IsZero() bool {
+	return s.PredEvals == 0 && s.Rollbacks == 0 && s.Matches == 0
+}
+
+// String renders the counters in a stable one-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf("PredEvals=%d Rollbacks=%d Matches=%d", s.PredEvals, s.Rollbacks, s.Matches)
 }
 
 // SkipPolicy controls where the search resumes after a match.

@@ -1,0 +1,38 @@
+package engine
+
+import "testing"
+
+func TestStatsHelpers(t *testing.T) {
+	var zero Stats
+	if !zero.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if got := zero.String(); got != "PredEvals=0 Rollbacks=0 Matches=0" {
+		t.Errorf("zero String() = %q", got)
+	}
+
+	a := Stats{PredEvals: 120, Rollbacks: 17, Matches: 3}
+	b := Stats{PredEvals: 54, Rollbacks: 9, Matches: 3}
+	d := a.Sub(b)
+	if d != (Stats{PredEvals: 66, Rollbacks: 8}) {
+		t.Errorf("Sub = %+v", d)
+	}
+	if d.IsZero() {
+		t.Error("nonzero delta reported zero")
+	}
+	// Sub in the other direction goes negative rather than clamping.
+	if n := b.Sub(a); n.PredEvals != -66 {
+		t.Errorf("reverse Sub = %+v", n)
+	}
+
+	// Add on a zero value is the identity accumulation.
+	var acc Stats
+	acc.Add(a)
+	acc.Add(Stats{})
+	if acc != a {
+		t.Errorf("Add = %+v, want %+v", acc, a)
+	}
+	if got := a.String(); got != "PredEvals=120 Rollbacks=17 Matches=3" {
+		t.Errorf("String() = %q", got)
+	}
+}

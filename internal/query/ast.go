@@ -40,6 +40,14 @@ type PatternVar struct {
 	Star bool
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] select. Plain EXPLAIN renders the
+// compiled plan without executing; EXPLAIN ANALYZE executes the query
+// and annotates the plan with per-phase timings and runtime counters.
+type ExplainStmt struct {
+	Analyze bool
+	Sel     *SelectStmt
+}
+
 // CreateTableStmt is CREATE TABLE name (col type, ...).
 type CreateTableStmt struct {
 	Name    string
@@ -59,6 +67,7 @@ type InsertStmt struct {
 }
 
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 func (*CreateTableStmt) stmt() {}
 func (*InsertStmt) stmt()      {}
 

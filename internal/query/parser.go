@@ -96,13 +96,15 @@ func (p *parser) statement() (Stmt, error) {
 	switch {
 	case p.at(TokKeyword, "SELECT"):
 		return p.selectStmt()
+	case p.at(TokKeyword, "EXPLAIN"):
+		return p.explainStmt()
 	case p.at(TokKeyword, "CREATE"):
 		return p.createStmt()
 	case p.at(TokKeyword, "INSERT"):
 		return p.insertStmt()
 	default:
 		t := p.cur()
-		return nil, errf(t.Line, t.Col, "expected SELECT, CREATE or INSERT, found %s", t)
+		return nil, errf(t.Line, t.Col, "expected SELECT, EXPLAIN, CREATE or INSERT, found %s", t)
 	}
 }
 
@@ -176,6 +178,24 @@ clauses:
 		}
 		st.Where = e
 	}
+	return st, nil
+}
+
+// explainStmt parses EXPLAIN [ANALYZE] select.
+func (p *parser) explainStmt() (*ExplainStmt, error) {
+	if _, err := p.expect(TokKeyword, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	st := &ExplainStmt{Analyze: p.accept(TokKeyword, "ANALYZE")}
+	if !p.at(TokKeyword, "SELECT") {
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "EXPLAIN expects a SELECT statement, found %s", t)
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Sel = sel
 	return st, nil
 }
 

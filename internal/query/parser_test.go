@@ -228,6 +228,8 @@ func TestRenderRoundTrip(t *testing.T) {
 		`CREATE TABLE quote (name VARCHAR, date DATE, price REAL)`,
 		`INSERT INTO quote VALUES ('IBM', '1999-01-25', 81)`,
 		`SELECT price FROM quote WHERE ((price > 10) AND (name = 'x''y'))`,
+		`EXPLAIN SELECT X.name FROM quote AS (X, Y) WHERE (Y.price > X.price)`,
+		`EXPLAIN ANALYZE SELECT X.name FROM quote AS (X, Y) WHERE (Y.price > X.price)`,
 	}
 	for _, src := range cases {
 		st1, err := Parse(src)
@@ -243,6 +245,30 @@ func TestRenderRoundTrip(t *testing.T) {
 		if r1 != r2 {
 			t.Errorf("render not a fixed point:\n%s\n%s", r1, r2)
 		}
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	st, err := Parse(`EXPLAIN ANALYZE SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*ExplainStmt)
+	if !ok || !ex.Analyze || ex.Sel == nil || ex.Sel.Table != "t" {
+		t.Errorf("parsed %#v", st)
+	}
+	st, err = Parse(`EXPLAIN SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := st.(*ExplainStmt); ex.Analyze {
+		t.Error("plain EXPLAIN parsed as ANALYZE")
+	}
+	if _, err := Parse(`EXPLAIN CREATE TABLE t (a INT)`); err == nil {
+		t.Error("EXPLAIN CREATE accepted")
+	}
+	if _, err := Parse(`EXPLAIN ANALYZE`); err == nil {
+		t.Error("bare EXPLAIN ANALYZE accepted")
 	}
 }
 

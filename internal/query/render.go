@@ -12,6 +12,12 @@ func Render(st Stmt) string {
 	switch s := st.(type) {
 	case *SelectStmt:
 		return renderSelect(s)
+	case *ExplainStmt:
+		kw := "EXPLAIN "
+		if s.Analyze {
+			kw = "EXPLAIN ANALYZE "
+		}
+		return kw + renderSelect(s.Sel)
 	case *CreateTableStmt:
 		return renderCreate(s)
 	case *InsertStmt:

@@ -47,6 +47,7 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true,
 	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
 	"VALUES": true, "FIRST": true, "LAST": true,
+	"EXPLAIN": true, "ANALYZE": true,
 	"PREVIOUS": true, "NEXT": true,
 	"TRUE": true, "FALSE": true, "NULL": true,
 }

@@ -1,0 +1,132 @@
+package sqlts
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"sqlts/internal/engine"
+	"sqlts/internal/obs"
+)
+
+// dbMetrics bundles the instruments every DB feeds while serving
+// queries and streams. Instruments live in an obs.Registry exposed via
+// DB.Metrics / DB.MetricsHandler in the Prometheus text format.
+type dbMetrics struct {
+	reg *obs.Registry
+
+	queries         *obs.Counter
+	queryErrors     *obs.Counter
+	rowsScanned     *obs.Counter
+	rowsReturned    *obs.Counter
+	predEvals       *obs.Counter
+	rollbacks       *obs.Counter
+	matches         *obs.Counter
+	clustersScanned *obs.Counter
+	slowQueries     *obs.Counter
+	queryDuration   *obs.Histogram
+
+	streamPushes   *obs.Counter
+	streamMatches  *obs.Counter
+	streamClusters *obs.Gauge
+}
+
+func newDBMetrics() *dbMetrics {
+	reg := obs.NewRegistry()
+	return &dbMetrics{
+		reg: reg,
+		queries: reg.Counter("sqlts_queries_total",
+			"SELECT statements executed (EXPLAIN ANALYZE runs included)."),
+		queryErrors: reg.Counter("sqlts_query_errors_total",
+			"SELECT executions that returned an error."),
+		rowsScanned: reg.Counter("sqlts_rows_scanned_total",
+			"Input rows read by query executions."),
+		rowsReturned: reg.Counter("sqlts_rows_returned_total",
+			"Result rows produced by query executions."),
+		predEvals: reg.Counter("sqlts_pred_evals_total",
+			"Predicate evaluations — the paper's cost metric."),
+		rollbacks: reg.Counter("sqlts_rollbacks_total",
+			"Mismatch-handling events (shift/next applications, restarts)."),
+		matches: reg.Counter("sqlts_matches_total",
+			"Pattern occurrences reported by query executions."),
+		clustersScanned: reg.Counter("sqlts_clusters_scanned_total",
+			"Clusters searched by query executions."),
+		slowQueries: reg.Counter("sqlts_slow_queries_total",
+			"Queries exceeding the configured slow-query threshold."),
+		queryDuration: reg.Histogram("sqlts_query_duration_seconds",
+			"Per-query execution latency.", nil),
+		streamPushes: reg.Counter("sqlts_stream_pushes_total",
+			"Tuples pushed into continuous queries."),
+		streamMatches: reg.Counter("sqlts_stream_matches_total",
+			"Matches emitted by continuous queries."),
+		streamClusters: reg.Gauge("sqlts_stream_active_clusters",
+			"Cluster matchers currently live across open streams."),
+	}
+}
+
+// Metrics returns the database's metrics registry. Callers may register
+// additional application metrics on it; it is safe for concurrent use.
+func (db *DB) Metrics() *obs.Registry { return db.metrics.reg }
+
+// WriteMetrics renders the registry in the Prometheus text exposition
+// format.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	_, err := db.metrics.reg.WriteTo(w)
+	return err
+}
+
+// MetricsHandler returns an http.Handler serving the exposition format,
+// for mounting at /metrics.
+func (db *DB) MetricsHandler() http.Handler { return db.metrics.reg.Handler() }
+
+// SlowQueryInfo describes one query execution that exceeded the
+// slow-query threshold.
+type SlowQueryInfo struct {
+	SQL      string // statement text as prepared
+	Executor string
+	Duration time.Duration
+	Rows     int // result rows
+	Stats    engine.Stats
+}
+
+// SetSlowQueryThreshold installs a slow-query hook: every execution
+// taking d or longer increments sqlts_slow_queries_total and, when fn is
+// non-nil, invokes fn synchronously from the executing goroutine (keep
+// it cheap; copy and hand off for heavy processing). A zero d disables
+// the hook.
+func (db *DB) SetSlowQueryThreshold(d time.Duration, fn func(SlowQueryInfo)) {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	db.slowThreshold = d
+	db.slowFn = fn
+}
+
+// observeRun records one finished execution in the metrics registry and
+// fires the slow-query hook.
+func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, dur time.Duration) {
+	m := db.metrics
+	m.queries.Inc()
+	m.rowsScanned.Add(int64(scanned))
+	m.rowsReturned.Add(int64(len(res.Rows)))
+	m.predEvals.Add(res.Stats.PredEvals)
+	m.rollbacks.Add(res.Stats.Rollbacks)
+	m.matches.Add(int64(res.Stats.Matches))
+	m.clustersScanned.Add(int64(len(res.clusterStats)))
+	m.queryDuration.Observe(dur.Seconds())
+
+	db.slowMu.Lock()
+	threshold, fn := db.slowThreshold, db.slowFn
+	db.slowMu.Unlock()
+	if threshold > 0 && dur >= threshold {
+		m.slowQueries.Inc()
+		if fn != nil {
+			fn(SlowQueryInfo{
+				SQL:      q.sql,
+				Executor: opts.Executor.String(),
+				Duration: dur,
+				Rows:     len(res.Rows),
+				Stats:    res.Stats,
+			})
+		}
+	}
+}

@@ -28,9 +28,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"sqlts/internal/constraint"
 	"sqlts/internal/core"
 	"sqlts/internal/engine"
+	"sqlts/internal/obs"
 	"sqlts/internal/pattern"
 	"sqlts/internal/query"
 	"sqlts/internal/storage"
@@ -43,6 +46,12 @@ type DB struct {
 	mu       sync.RWMutex
 	tables   map[string]*storage.Table
 	positive map[string][]string // table → positive-domain columns
+
+	metrics *dbMetrics
+
+	slowMu        sync.Mutex
+	slowThreshold time.Duration
+	slowFn        func(SlowQueryInfo)
 }
 
 // New creates an empty database.
@@ -50,6 +59,7 @@ func New() *DB {
 	return &DB{
 		tables:   map[string]*storage.Table{},
 		positive: map[string][]string{},
+		metrics:  newDBMetrics(),
 	}
 }
 
@@ -253,6 +263,8 @@ type Result struct {
 	Stats engine.Stats
 	// Matches holds the raw match intervals per cluster, for tooling.
 	Matches []ClusterMatches
+
+	clusterStats []ClusterStat
 }
 
 // ClusterMatches are the matches found within one cluster.
@@ -262,24 +274,78 @@ type ClusterMatches struct {
 	Matches []engine.Match
 }
 
+// ClusterStat is the execution breakdown for one cluster: input size and
+// runtime counters. Unlike Matches, every searched cluster appears here,
+// matches or not, so skew across clusters is visible.
+type ClusterStat struct {
+	// Cluster is the 0-based cluster index in first-appearance order.
+	Cluster int
+	// Rows is the number of input rows in the cluster.
+	Rows int
+	// Stats are the search counters accumulated within the cluster.
+	Stats engine.Stats
+}
+
+// ClusterStats returns the per-cluster execution breakdown, in cluster
+// order. It is populated by both the serial and the parallel execution
+// paths; summing the entries' Stats reproduces Result.Stats.
+func (r *Result) ClusterStats() []ClusterStat { return r.clusterStats }
+
+// explainMode selects what Run produces for EXPLAIN statements.
+type explainMode uint8
+
+const (
+	explainNone    explainMode = iota
+	explainPlan                // EXPLAIN: render the plan, don't execute
+	explainAnalyze             // EXPLAIN ANALYZE: execute and annotate
+)
+
 // Query is a prepared SQL-TS SELECT: parsed, analyzed, and optimized.
 type Query struct {
 	db       *DB
 	compiled *query.Compiled
 	tables   *core.Tables
 	lastPath []engine.PathPoint
+
+	sql     string
+	trace   *obs.Trace
+	explain explainMode
 }
 
-// Prepare parses, analyzes and optimizes a SELECT statement.
+// Prepare parses, analyzes and optimizes a SELECT or EXPLAIN [ANALYZE]
+// SELECT statement.
 func (db *DB) Prepare(sql string) (*Query, error) {
+	tr := obs.NewTrace()
+	sp := tr.Start("parse")
 	st, err := query.Parse(sql)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	mode := explainNone
 	sel, ok := st.(*query.SelectStmt)
 	if !ok {
-		return nil, fmt.Errorf("sqlts: Prepare expects a SELECT statement")
+		ex, isExplain := st.(*query.ExplainStmt)
+		if !isExplain {
+			return nil, fmt.Errorf("sqlts: Prepare expects a SELECT statement")
+		}
+		sel = ex.Sel
+		mode = explainPlan
+		if ex.Analyze {
+			mode = explainAnalyze
+		}
 	}
+	q, err := db.prepareSelect(sel, sql, tr)
+	if err != nil {
+		return nil, err
+	}
+	q.explain = mode
+	return q, nil
+}
+
+// prepareSelect runs semantic analysis and the OPS compile-time
+// pipeline, recording one trace span per phase.
+func (db *DB) prepareSelect(sel *query.SelectStmt, sql string, tr *obs.Trace) (*Query, error) {
 	db.mu.RLock()
 	t := db.tables[strings.ToLower(sel.Table)]
 	positive := append([]string(nil), db.positive[strings.ToLower(sel.Table)]...)
@@ -287,23 +353,53 @@ func (db *DB) Prepare(sql string) (*Query, error) {
 	if t == nil {
 		return nil, fmt.Errorf("sqlts: no table %q", sel.Table)
 	}
+	sp := tr.Start("analyze")
 	compiled, err := query.Analyze(sel, t.Schema, query.AnalyzeOptions{
 		PositiveColumns: positive,
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	q := &Query{db: db, compiled: compiled}
-	if compiled.Pattern != nil {
-		q.tables = core.Compute(compiled.Pattern)
+	if p := compiled.Pattern; p != nil {
+		atoms := 0
+		for i := range p.Elems {
+			for _, d := range p.Elems[i].Sys.Ds {
+				atoms += d.Len()
+			}
+			atoms += len(p.Elems[i].CrossConds)
+		}
+		sp.Annotate("elements", p.Len()).Annotate("predicates", atoms)
+	}
+	sp.End()
+	q := &Query{db: db, compiled: compiled, sql: sql, trace: tr}
+	if p := compiled.Pattern; p != nil {
+		q0 := constraint.Queries()
+		sp = tr.Start("matrices")
+		m := core.ComputeMatrices(p)
+		sp.Annotate("dim", fmt.Sprintf("%dx%d", p.Len(), p.Len())).
+			Annotate("implication-checks", constraint.Queries()-q0).
+			End()
+		sp = tr.Start("shift/next")
+		q.tables = core.TablesFrom(p, m)
+		sp.Annotate("avg-shift", fmt.Sprintf("%.2f", q.tables.AvgShift())).
+			Annotate("avg-next", fmt.Sprintf("%.2f", q.tables.AvgNext())).
+			End()
 	}
 	return q, nil
 }
 
-// Query prepares and runs a SELECT with default options.
+// Trace returns the query's lifecycle trace: compile-phase spans
+// recorded by Prepare plus one "execute" span per Run.
+func (q *Query) Trace() *obs.Trace { return q.trace }
+
+// Query prepares and runs a SELECT with default options. EXPLAIN
+// [ANALYZE] statements are also accepted and return the rendered plan
+// as a one-column result.
 func (db *DB) Query(sql string) (*Result, error) {
 	q, err := db.Prepare(sql)
 	if err != nil {
+		db.metrics.queryErrors.Inc()
 		return nil, err
 	}
 	return q.Run()
@@ -366,36 +462,80 @@ func (q *Query) Run() (*Result, error) { return q.RunWith(RunOptions{}) }
 // set Trace (concatenated across clusters).
 func (q *Query) LastPath() []engine.PathPoint { return q.lastPath }
 
-// RunWith executes the query with explicit options.
+// RunWith executes the query with explicit options. For a prepared
+// EXPLAIN the result is the rendered plan (one "QUERY PLAN" text
+// column); EXPLAIN ANALYZE additionally executes the query and
+// annotates the plan with measured per-phase timings and counters.
 func (q *Query) RunWith(opts RunOptions) (*Result, error) {
+	switch q.explain {
+	case explainPlan:
+		return planResult(q.Explain(), engine.Stats{}), nil
+	case explainAnalyze:
+		text, stats, err := q.explainAnalyzeText(opts)
+		if err != nil {
+			return nil, err
+		}
+		return planResult(text, stats), nil
+	}
+	return q.runMeasured(opts)
+}
+
+// runMeasured executes the query, records the execution span, feeds the
+// metrics registry and fires the slow-query hook.
+func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
+	sp := q.trace.Start("execute")
+	res, scanned, err := q.execute(opts)
+	if err != nil {
+		sp.End()
+		q.db.metrics.queryErrors.Inc()
+		return nil, err
+	}
+	sp.Annotate("executor", opts.Executor.String()).
+		Annotate("clusters", len(res.clusterStats)).
+		Annotate("rows-scanned", scanned).
+		Annotate("rows", len(res.Rows)).
+		Annotate("stats", res.Stats.String()).
+		End()
+	q.db.observeRun(q, opts, res, scanned, sp.Duration)
+	return res, nil
+}
+
+// execute is the raw execution path: no tracing, no metrics. EXPLAIN
+// ANALYZE uses it directly for the naive-comparison run so diagnostics
+// don't inflate the serving counters.
+func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 	t := q.db.Table(q.compiled.Table)
 	if t == nil {
-		return nil, fmt.Errorf("sqlts: table %q disappeared", q.compiled.Table)
+		return nil, 0, fmt.Errorf("sqlts: table %q disappeared", q.compiled.Table)
 	}
 	res := &Result{
 		Columns: append([]string(nil), q.compiled.OutNames...),
 		Types:   append([]storage.Type(nil), q.compiled.OutTypes...),
 	}
 	if q.compiled.AlwaysEmpty() {
-		return res, nil
+		return res, 0, nil
 	}
 
 	if q.compiled.Pattern == nil {
 		for _, row := range t.Rows {
 			out, ok, err := q.compiled.EvalPlainRow(row)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if ok {
 				res.Rows = append(res.Rows, out)
 			}
 		}
-		return res, nil
+		return res, len(t.Rows), nil
 	}
 
 	clusters, err := t.Cluster(q.compiled.ClusterBy, q.compiled.SequenceBy)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	scanned := 0
+	for _, seq := range clusters {
+		scanned += len(seq)
 	}
 	policy := engine.SkipPastLastRow
 	if opts.Overlap {
@@ -403,12 +543,14 @@ func (q *Query) RunWith(opts RunOptions) (*Result, error) {
 	}
 	q.lastPath = nil
 	if opts.Parallel && !opts.Trace && len(clusters) > 1 {
-		return q.runParallel(res, clusters, opts, policy)
+		out, err := q.runParallel(res, clusters, opts, policy)
+		return out, scanned, err
 	}
 	ex := q.newExecutor(opts, policy)
 	for ci, seq := range clusters {
 		ms, stats := ex.FindAll(seq)
 		res.Stats.Add(stats)
+		res.clusterStats = append(res.clusterStats, ClusterStat{Cluster: ci, Rows: len(seq), Stats: stats})
 		if opts.Trace {
 			q.lastPath = append(q.lastPath, pathOf(ex)...)
 		}
@@ -418,12 +560,12 @@ func (q *Query) RunWith(opts RunOptions) (*Result, error) {
 		for _, m := range ms {
 			row, err := q.compiled.EvalSelect(seq, m.Spans)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	return res, nil
+	return res, scanned, nil
 }
 
 // runParallel searches clusters concurrently. Each worker gets its own
@@ -475,6 +617,7 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 			return nil, outs[ci].err
 		}
 		res.Stats.Add(outs[ci].stats)
+		res.clusterStats = append(res.clusterStats, ClusterStat{Cluster: ci, Rows: len(clusters[ci]), Stats: outs[ci].stats})
 		if len(outs[ci].matches) > 0 {
 			res.Matches = append(res.Matches, ClusterMatches{Cluster: ci, Matches: outs[ci].matches})
 		}

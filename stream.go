@@ -92,11 +92,14 @@ func (st *Stream) Push(vals ...storage.Value) error {
 		row[i] = v
 	}
 
+	m := st.q.db.metrics
+	m.streamPushes.Inc()
 	key := st.clusterKey(row)
 	cs := st.clusters[key]
 	if cs == nil {
 		cs = st.newClusterStream()
 		st.clusters[key] = cs
+		m.streamClusters.Inc()
 	}
 	// Enforce SEQUENCE BY arrival order within the cluster.
 	if len(st.seqIdx) > 0 && cs.lastSeq != nil {
@@ -135,6 +138,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 		if st.sinkErr != nil {
 			return
 		}
+		st.q.db.metrics.streamMatches.Inc()
 		// Evaluate output expressions against the matcher's retained
 		// window (still covering the match during emission). References
 		// past the match end (e.g. a trailing X.next) resolve to NULL if
@@ -180,6 +184,7 @@ func (st *Stream) Close() error {
 	for _, cs := range st.clusters {
 		cs.s.Flush()
 	}
+	st.q.db.metrics.streamClusters.Add(-int64(len(st.clusters)))
 	return st.sinkErr
 }
 
