@@ -120,10 +120,19 @@ func BenchmarkDoubleBottom(b *testing.B) {
 	seq := doubleBottomSeq(b)
 	p := bench.DoubleBottomPattern()
 	t := core.Compute(p)
+	kern := p.CompileKernel()
 	b.Run("naive", func(b *testing.B) {
 		runExecutor(b, engine.NewNaive(p, engine.SkipPastLastRow), seq)
 	})
+	// "ops" is the production configuration: compiled columnar kernels,
+	// as attached by Query.RunWith. "ops-interp" is the same algorithm
+	// through the condition interpreter; pred-evals are identical.
 	b.Run("ops", func(b *testing.B) {
+		ex := engine.NewOPS(p, t, engine.OPSConfig{})
+		ex.UseKernel(kern)
+		runExecutor(b, ex, seq)
+	})
+	b.Run("ops-interp", func(b *testing.B) {
 		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
 	})
 }
@@ -224,6 +233,60 @@ func BenchmarkStreaming(b *testing.B) {
 		}
 		b.ReportMetric(float64(evals), "pred-evals")
 	})
+}
+
+// BenchmarkStreamSQL measures the full SQL streaming path — Prepare,
+// OpenStream, per-tuple Push — on the double-bottom workload. This is
+// the path the PR 3 allocation work targets: span and SELECT-row
+// scratch are recycled between matches, so steady-state allocations
+// come only from the per-Push row copy.
+func BenchmarkStreamSQL(b *testing.B) {
+	prices := workload.DJIA25Years(1)
+	for i := 0; i < 12; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/13)
+	}
+	db := sqlts.New()
+	db.MustExec(`CREATE TABLE djia (date DATE, price REAL)`)
+	if err := db.DeclarePositive("djia", "price"); err != nil {
+		b.Fatal(err)
+	}
+	q, err := db.Prepare(ta.DoubleBottom("djia", 0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The stream is opened once and each iteration pushes the whole
+	// series (with advancing dates), so the numbers are the steady-state
+	// per-series cost: no setup, no table computation, just Push.
+	run := func(b *testing.B, opts sqlts.StreamOptions) {
+		matches := 0
+		st, err := q.OpenStream(opts, func(storage.Row) error {
+			matches++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		day := int64(2557)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range prices {
+				if err := st.Push(storage.NewDateDays(day), storage.NewFloat(p)); err != nil {
+					b.Fatal(err)
+				}
+				day++
+			}
+		}
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if matches == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.Run("kernel", func(b *testing.B) { run(b, sqlts.StreamOptions{}) })
+	b.Run("interp", func(b *testing.B) { run(b, sqlts.StreamOptions{NoKernel: true}) })
 }
 
 // BenchmarkTAPatterns measures the ta library's scans end to end through

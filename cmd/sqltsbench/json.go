@@ -1,0 +1,197 @@
+package main
+
+// Machine-readable benchmark output (-json): runs the repo's benchmark
+// families via testing.Benchmark and writes one JSON document with
+// ns/op, allocations, and the paper's pred-evals metric per entry. The
+// recorded files (BENCH_PR*.json at the repo root) track the perf
+// trajectory across PRs; see docs/PERFORMANCE.md for the workflow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sqlts"
+	"sqlts/internal/bench"
+	"sqlts/internal/core"
+	"sqlts/internal/engine"
+	"sqlts/internal/storage"
+	"sqlts/internal/workload"
+)
+
+type benchEntry struct {
+	// Family groups entries by experiment (E1 kmp, E2/E4 compile,
+	// E3 fig5, E5 doublebottom, streaming).
+	Family  string `json:"family"`
+	Name    string `json:"name"`
+	Variant string `json:"variant"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PredEvals is the paper's cost metric for one operation (0 when
+	// the entry has no predicate notion, e.g. compile benches).
+	PredEvals int64 `json:"pred_evals,omitempty"`
+	// Comparisons is the character-comparison count for text search.
+	Comparisons int64 `json:"comparisons,omitempty"`
+}
+
+type benchFile struct {
+	Recorded string       `json:"recorded"`
+	Go       string       `json:"go"`
+	Note     string       `json:"note"`
+	Entries  []benchEntry `json:"entries"`
+}
+
+// entryOf converts a testing.BenchmarkResult into an entry.
+func entryOf(family, name, variant string, r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		Family:      family,
+		Name:        name,
+		Variant:     variant,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchExecutor measures ex.FindAll over seq and records pred-evals.
+func benchExecutor(family, name, variant string, ex engine.Executor, seq []storage.Row) benchEntry {
+	var evals int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, stats := ex.FindAll(seq)
+			evals = stats.PredEvals
+		}
+	})
+	e := entryOf(family, name, variant, r)
+	e.PredEvals = evals
+	return e
+}
+
+func priceRows(prices []float64) []storage.Row {
+	out := make([]storage.Row, len(prices))
+	for i, p := range prices {
+		out[i] = storage.Row{storage.NewFloat(p)}
+	}
+	return out
+}
+
+func doubleBottomRows(seed int64) []storage.Row {
+	prices := workload.DJIA25Years(seed)
+	for i := 0; i < 12; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/13)
+	}
+	return priceRows(prices)
+}
+
+// writeBenchJSON runs every family and writes the document to path.
+func writeBenchJSON(path, variant string, seed int64) error {
+	doc := benchFile{
+		Recorded: time.Now().UTC().Format(time.RFC3339),
+		Go:       runtime.Version(),
+		Note:     "sqltsbench -json: ns/op, allocs, and pred-evals per benchmark family",
+	}
+
+	// E1: KMP vs naive text search.
+	text := workload.RandomText(seed, 1_000_000, "abc")
+	pat := "abcabcacab"
+	var cmps int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cmps = engine.NaiveStringSearch(pat, text, false).Comparisons
+		}
+	})
+	e := entryOf("E1-kmp", "text/naive", variant, r)
+	e.Comparisons = cmps
+	doc.Entries = append(doc.Entries, e)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cmps = engine.KMPSearch(pat, text, false).Comparisons
+		}
+	})
+	e = entryOf("E1-kmp", "text/kmp", variant, r)
+	e.Comparisons = cmps
+	doc.Entries = append(doc.Entries, e)
+
+	// E2/E4: compile pipeline cost.
+	for _, c := range []struct{ name, sql string }{
+		{"compile/example1", `SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+			WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`},
+		{"compile/example10", bench.DoubleBottomSQL},
+	} {
+		db := sqlts.New()
+		db.MustExec(`CREATE TABLE quote (name VARCHAR(8), date DATE, price REAL)`)
+		db.MustExec(`CREATE TABLE djia (date DATE, price REAL)`)
+		if err := db.DeclarePositive("djia", "price"); err != nil {
+			return err
+		}
+		sql := c.sql
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Prepare(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		doc.Entries = append(doc.Entries, entryOf("E2-compile", c.name, variant, r))
+	}
+
+	// E3: Figure 5 sequence.
+	fig5 := priceRows([]float64{55, 50, 45, 57, 54, 50, 47, 49, 45, 42, 55, 57, 59, 60, 57})
+	p4 := bench.Example4Pattern()
+	t4 := core.Compute(p4)
+	doc.Entries = append(doc.Entries,
+		benchExecutor("E3-fig5", "fig5/naive", variant, engine.NewNaive(p4, engine.SkipPastLastRow), fig5),
+		benchExecutor("E3-fig5", "fig5/ops", variant, newOPSBench(p4, t4), fig5))
+
+	// E5: §7 double bottom, the PR acceptance workload.
+	dbSeq := doubleBottomRows(seed)
+	pdb := bench.DoubleBottomPattern()
+	tdb := core.Compute(pdb)
+	doc.Entries = append(doc.Entries,
+		benchExecutor("E5-doublebottom", "doublebottom/naive", variant, engine.NewNaive(pdb, engine.SkipPastLastRow), dbSeq),
+		benchExecutor("E5-doublebottom", "doublebottom/ops", variant, newOPSBench(pdb, tdb), dbSeq))
+	doc.Entries = append(doc.Entries, extraEngineEntries(variant, pdb, dbSeq)...)
+
+	// Streaming: incremental matcher on the double-bottom workload.
+	var evals int64
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := newStreamerBench(pdb)
+			for _, row := range dbSeq {
+				if err := s.Push(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Flush()
+			evals = s.Stats().PredEvals
+		}
+	})
+	e = entryOf("streaming", "doublebottom/stream", variant, r)
+	e.PredEvals = evals
+	doc.Entries = append(doc.Entries, e)
+
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark entries to %s\n", len(doc.Entries), path)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+// Variant hooks for the JSON benchmark emitter: which executor
+// configurations each engine family measures. The default hooks build
+// the production configuration — compiled columnar kernels attached,
+// exactly as Query.RunWith does — and extraEngineEntries adds explicit
+// interpreter rows so recorded files carry the kernel-vs-interpreter
+// comparison.
+
+import (
+	"sqlts/internal/core"
+	"sqlts/internal/engine"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// newOPSBench builds the default OPS executor configuration (kernel
+// attached, as in production).
+func newOPSBench(p *pattern.Pattern, t *core.Tables) engine.Executor {
+	ex := engine.NewOPS(p, t, engine.OPSConfig{})
+	ex.UseKernel(p.CompileKernel())
+	return ex
+}
+
+// newStreamerBench builds the default incremental matcher (kernel
+// attached, as in production).
+func newStreamerBench(p *pattern.Pattern) *engine.Streamer {
+	s := engine.NewStreamer(p, engine.StreamConfig{}, func(engine.Match) {})
+	s.UseKernel(p.CompileKernel())
+	return s
+}
+
+// extraEngineEntries adds interpreter rows for the double-bottom family
+// so each recorded file pairs the kernelized default with its
+// interpreter counterpart (pred-evals must agree between the two).
+func extraEngineEntries(variant string, p *pattern.Pattern, seq []storage.Row) []benchEntry {
+	t := core.Compute(p)
+	return []benchEntry{
+		benchExecutor("E5-doublebottom", "doublebottom/ops-interp", variant,
+			engine.NewOPS(p, t, engine.OPSConfig{}), seq),
+	}
+}

@@ -105,8 +105,13 @@ type Executor interface {
 
 // evaluator wraps shared evaluation machinery: predicate dispatch,
 // statistics, optional path tracing, and cross-condition binding setup.
+// When a kernel is attached (UseKernel), probes run through the compiled
+// columnar chains; otherwise they interpret the pattern directly. Both
+// paths produce identical matches and identical Stats.
 type evaluator struct {
 	p     *pattern.Pattern
+	kern  *pattern.Kernel
+	proj  *storage.Projection
 	stats Stats
 	trace []PathPoint
 	doTrc bool
@@ -117,6 +122,19 @@ func newEvaluator(p *pattern.Pattern) evaluator {
 	return evaluator{p: p, ctx: pattern.EvalContext{Bind: make([]pattern.Span, p.Len())}}
 }
 
+// UseKernel attaches a compiled predicate kernel: subsequent searches
+// decode each sequence into a columnar projection once and evaluate
+// elements through the kernel's specialized chains. A nil kernel (or one
+// with no compiled elements) leaves the interpreter in place.
+func (e *evaluator) UseKernel(k *pattern.Kernel) {
+	if k == nil || k.CompiledElems() == 0 {
+		e.kern, e.proj = nil, nil
+		return
+	}
+	e.kern = k
+	e.proj = k.NewProjection()
+}
+
 // eval tests pattern element j (1-based) against input tuple i (1-based)
 // and updates the counters.
 func (e *evaluator) eval(j, i int) bool {
@@ -125,12 +143,19 @@ func (e *evaluator) eval(j, i int) bool {
 		e.trace = append(e.trace, PathPoint{I: i, J: j})
 	}
 	e.ctx.Pos = i - 1
+	if e.kern != nil {
+		return e.kern.EvalElem(j-1, e.proj, &e.ctx)
+	}
 	return e.p.EvalElem(j-1, &e.ctx)
 }
 
-// reset prepares for a new sequence.
+// reset prepares for a new sequence, projecting it once when a kernel is
+// attached (the projection buffers are reused across sequences).
 func (e *evaluator) reset(seq []storage.Row) {
 	e.ctx.Seq = seq
+	if e.kern != nil {
+		e.proj.SetRows(seq)
+	}
 	for k := range e.ctx.Bind {
 		e.ctx.Bind[k] = pattern.Span{}
 	}

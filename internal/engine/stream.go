@@ -18,6 +18,17 @@ type StreamConfig struct {
 	// the search restarts past the window — a safety valve for patterns
 	// whose stars can run forever on adversarial input.
 	MaxBuffer int
+	// ReuseSpans makes emitted Match.Spans alias a scratch buffer that
+	// is overwritten by the next emission — an allocation-free fast path
+	// for sinks that consume spans synchronously. Sinks that retain a
+	// Match past the emit callback must copy Spans (or leave this off).
+	ReuseSpans bool
+	// Tables supplies precomputed stream tables (core.ComputeForStream).
+	// When nil, NewStreamer computes them. The tables are read-only at
+	// run time, so one computation can be shared by every Streamer of
+	// the same pattern — e.g. one matcher per CLUSTER BY key — instead
+	// of re-running the implication engine per cluster.
+	Tables *core.Tables
 }
 
 // Streamer is the incremental (push-based) OPS matcher: tuples arrive one
@@ -33,6 +44,11 @@ type Streamer struct {
 	cfg   StreamConfig
 	emit  func(Match)
 	stats Stats
+
+	kern *pattern.Kernel
+	proj *storage.Projection
+
+	spanScratch []pattern.Span // emission buffer when cfg.ReuseSpans
 
 	buf  []storage.Row
 	base int // global 0-based index of buf[0]
@@ -50,9 +66,13 @@ type Streamer struct {
 // called synchronously from Push/Flush for every completed match, with
 // global (whole-stream) coordinates.
 func NewStreamer(p *pattern.Pattern, cfg StreamConfig, emit func(Match)) *Streamer {
+	t := cfg.Tables
+	if t == nil {
+		t = core.ComputeForStream(p)
+	}
 	s := &Streamer{
 		p:     p,
-		t:     core.ComputeForStream(p),
+		t:     t,
 		cfg:   cfg,
 		emit:  emit,
 		i:     1,
@@ -63,10 +83,28 @@ func NewStreamer(p *pattern.Pattern, cfg StreamConfig, emit func(Match)) *Stream
 	return s
 }
 
+// UseKernel attaches a compiled predicate kernel: pushed tuples are
+// decoded into columnar buffers incrementally and probes run through the
+// kernel's specialized chains. Call before the first Push (rows already
+// buffered are projected on attach). A nil kernel, or one with no
+// compiled elements, leaves the interpreter in place.
+func (s *Streamer) UseKernel(k *pattern.Kernel) {
+	if k == nil || k.CompiledElems() == 0 {
+		s.kern, s.proj = nil, nil
+		return
+	}
+	s.kern = k
+	s.proj = k.NewProjection()
+	s.proj.AppendRows(s.buf)
+}
+
 func (s *Streamer) evalAt(j, i int) bool {
 	s.stats.PredEvals++
 	s.ctx.Seq = s.buf
 	s.ctx.Pos = i - 1 - s.base
+	if s.kern != nil {
+		return s.kern.EvalElem(j-1, s.proj, &s.ctx)
+	}
 	return s.p.EvalElem(j-1, &s.ctx)
 }
 
@@ -95,6 +133,9 @@ func (s *Streamer) Push(row storage.Row) error {
 		return fmt.Errorf("engine: Push after Flush")
 	}
 	s.buf = append(s.buf, row)
+	if s.kern != nil {
+		s.proj.AppendRow(row)
+	}
 	s.drain()
 	s.prune()
 	return nil
@@ -144,7 +185,18 @@ func (s *Streamer) Flush() {
 func (s *Streamer) record() int {
 	m := s.p.Len()
 	start := s.i - s.count[m]
-	spans := make([]pattern.Span, m)
+	var spans []pattern.Span
+	if s.cfg.ReuseSpans {
+		if cap(s.spanScratch) < m {
+			s.spanScratch = make([]pattern.Span, m)
+		}
+		spans = s.spanScratch[:m]
+		for k := range spans {
+			spans[k] = pattern.Span{}
+		}
+	} else {
+		spans = make([]pattern.Span, m)
+	}
 	for k, sp := range s.ctx.Bind {
 		if sp.Set {
 			spans[k] = pattern.Span{Start: sp.Start + s.base, End: sp.End + s.base, Set: true}
@@ -253,6 +305,9 @@ func (s *Streamer) prune() {
 		drop = len(s.buf)
 	}
 	s.buf = append(s.buf[:0], s.buf[drop:]...)
+	if s.kern != nil {
+		s.proj.DropFront(drop)
+	}
 	s.base += drop
 	for k := range s.ctx.Bind {
 		if s.ctx.Bind[k].Set {

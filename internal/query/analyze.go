@@ -828,7 +828,19 @@ func (c *Compiled) AlwaysEmpty() bool { return c.alwaysEmpty }
 
 // EvalSelect produces the output row for one completed match.
 func (c *Compiled) EvalSelect(seq []storage.Row, spans []pattern.Span) (storage.Row, error) {
-	out := make(storage.Row, len(c.outExprs))
+	return c.EvalSelectInto(nil, seq, spans)
+}
+
+// EvalSelectInto is EvalSelect writing into dst when its capacity
+// allows, for callers that recycle the output row between matches (the
+// streaming path). The returned row aliases dst on reuse.
+func (c *Compiled) EvalSelectInto(dst storage.Row, seq []storage.Row, spans []pattern.Span) (storage.Row, error) {
+	out := dst
+	if cap(out) >= len(c.outExprs) {
+		out = out[:len(c.outExprs)]
+	} else {
+		out = make(storage.Row, len(c.outExprs))
+	}
 	for i, e := range c.outExprs {
 		v, err := evalExprAgg(e,
 			func(f *FieldRef) (storage.Value, bool) { return c.matchRef(f, seq, spans) },

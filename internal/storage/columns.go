@@ -1,0 +1,152 @@
+package storage
+
+import "fmt"
+
+// Projection is a columnar view of a row sequence: for each referenced
+// column, the values decoded once into a flat array — numerics and dates
+// widened to float64, strings kept as-is — plus a per-column null mask.
+// The pattern kernels (internal/pattern) evaluate their compiled
+// predicate chains against these arrays instead of re-decoding boxed
+// Values on every probe, which is where the interpreter spends most of
+// its time.
+//
+// A Projection covers one cluster (or one streaming window). Arrays are
+// indexed by schema column number; columns that were not requested stay
+// nil. Reset and DropFront retain capacity so executors can reuse one
+// Projection across clusters and streams can prune without reallocating.
+type Projection struct {
+	// Num[c][i] is row i's column c widened to float64 (dates as
+	// days-since-epoch). Nil for columns not projected numerically.
+	Num [][]float64
+	// Str[c][i] is row i's column c string payload. Nil for columns not
+	// projected as strings.
+	Str [][]string
+	// Null[c][i] reports whether row i's column c is NULL. Non-nil for
+	// every projected column (numeric or string).
+	Null [][]bool
+
+	numCols []int
+	strCols []int
+	n       int
+}
+
+// NewProjection prepares a projection over a width-column schema that
+// will decode numCols numerically and strCols as strings. A column may
+// appear in both lists. Column indexes must be in [0, width).
+func NewProjection(width int, numCols, strCols []int) *Projection {
+	p := &Projection{
+		Num:     make([][]float64, width),
+		Str:     make([][]string, width),
+		Null:    make([][]bool, width),
+		numCols: append([]int(nil), numCols...),
+		strCols: append([]int(nil), strCols...),
+	}
+	for _, c := range append(append([]int(nil), numCols...), strCols...) {
+		if c < 0 || c >= width {
+			panic(fmt.Sprintf("storage: projection column %d out of range [0,%d)", c, width))
+		}
+		if p.Null[c] == nil {
+			p.Null[c] = []bool{}
+		}
+	}
+	for _, c := range numCols {
+		if p.Num[c] == nil {
+			p.Num[c] = []float64{}
+		}
+	}
+	for _, c := range strCols {
+		if p.Str[c] == nil {
+			p.Str[c] = []string{}
+		}
+	}
+	return p
+}
+
+// Len returns the number of projected rows.
+func (p *Projection) Len() int { return p.n }
+
+// Reset truncates the projection to zero rows, retaining capacity.
+func (p *Projection) Reset() {
+	for _, c := range p.numCols {
+		p.Num[c] = p.Num[c][:0]
+	}
+	for _, c := range p.strCols {
+		p.Str[c] = p.Str[c][:0]
+	}
+	for c := range p.Null {
+		if p.Null[c] != nil {
+			p.Null[c] = p.Null[c][:0]
+		}
+	}
+	p.n = 0
+}
+
+// AppendRow decodes one row into the columnar buffers. The row must
+// match the schema the projection's columns were validated against:
+// numeric projections accept INTEGER, REAL, DATE, or NULL.
+func (p *Projection) AppendRow(r Row) {
+	for _, c := range p.numCols {
+		v := r[c]
+		switch v.typ {
+		case TypeNull:
+			p.Num[c] = append(p.Num[c], 0)
+		case TypeDate:
+			p.Num[c] = append(p.Num[c], float64(v.i))
+		default:
+			p.Num[c] = append(p.Num[c], v.Float())
+		}
+	}
+	for _, c := range p.strCols {
+		v := r[c]
+		if v.typ == TypeNull {
+			p.Str[c] = append(p.Str[c], "")
+		} else {
+			p.Str[c] = append(p.Str[c], v.Str())
+		}
+	}
+	for c, mask := range p.Null {
+		if mask != nil {
+			p.Null[c] = append(mask, r[c].IsNull())
+		}
+	}
+	p.n++
+}
+
+// AppendRows decodes a batch of rows.
+func (p *Projection) AppendRows(rows []Row) {
+	for _, r := range rows {
+		p.AppendRow(r)
+	}
+}
+
+// SetRows resets the projection and decodes rows — the once-per-cluster
+// projection step of batch execution.
+func (p *Projection) SetRows(rows []Row) {
+	p.Reset()
+	p.AppendRows(rows)
+}
+
+// DropFront discards the first k rows, shifting the remainder down in
+// place (streaming prune). Capacity is retained.
+func (p *Projection) DropFront(k int) {
+	if k <= 0 {
+		return
+	}
+	if k > p.n {
+		k = p.n
+	}
+	for _, c := range p.numCols {
+		s := p.Num[c]
+		p.Num[c] = s[:copy(s, s[k:])]
+	}
+	for _, c := range p.strCols {
+		s := p.Str[c]
+		p.Str[c] = s[:copy(s, s[k:])]
+	}
+	for c, mask := range p.Null {
+		if mask != nil {
+			p.Null[c] = mask[:copy(mask, mask[k:])]
+		}
+	}
+	p.n -= k
+}

@@ -1,0 +1,89 @@
+package storage
+
+import "testing"
+
+func projSchema() *Schema {
+	return MustSchema(
+		Column{Name: "price", Type: TypeFloat},
+		Column{Name: "vol", Type: TypeInt},
+		Column{Name: "name", Type: TypeString},
+		Column{Name: "day", Type: TypeDate},
+	)
+}
+
+func TestProjectionDecode(t *testing.T) {
+	s := projSchema()
+	p := NewProjection(s.Len(), []int{0, 1, 3}, []int{2})
+	rows := []Row{
+		{NewFloat(1.5), NewInt(7), NewString("a"), NewDateDays(100)},
+		{Null, NewInt(-2), Null, NewDateDays(101)},
+		{NewFloat(3), Null, NewString("b"), Null},
+	}
+	p.AppendRows(rows)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	// Numeric columns widen once: ints and dates land as float64.
+	wantNum := map[int][]float64{
+		0: {1.5, 0, 3},
+		1: {7, -2, 0},
+		3: {100, 101, 0},
+	}
+	for c, want := range wantNum {
+		for i, w := range want {
+			if got := p.Num[c][i]; got != w {
+				t.Errorf("Num[%d][%d] = %v, want %v", c, i, got, w)
+			}
+		}
+	}
+	if p.Str[2][0] != "a" || p.Str[2][1] != "" || p.Str[2][2] != "b" {
+		t.Errorf("Str[2] = %v", p.Str[2])
+	}
+	wantNull := map[int][]bool{
+		0: {false, true, false},
+		1: {false, false, true},
+		2: {false, true, false},
+		3: {false, false, true},
+	}
+	for c, want := range wantNull {
+		for i, w := range want {
+			if got := p.Null[c][i]; got != w {
+				t.Errorf("Null[%d][%d] = %v, want %v", c, i, got, w)
+			}
+		}
+	}
+	// Unreferenced columns stay unmaterialized.
+	if p.Str[0] != nil || p.Num[2] != nil {
+		t.Error("unreferenced columns were materialized")
+	}
+}
+
+func TestProjectionDropFrontAndReuse(t *testing.T) {
+	s := projSchema()
+	p := NewProjection(s.Len(), []int{0}, nil)
+	rows := []Row{
+		{NewFloat(1), NewInt(0), NewString(""), NewDateDays(0)},
+		{NewFloat(2), NewInt(0), NewString(""), NewDateDays(0)},
+		{NewFloat(3), NewInt(0), NewString(""), NewDateDays(0)},
+		{NewFloat(4), NewInt(0), NewString(""), NewDateDays(0)},
+	}
+	p.AppendRows(rows)
+	p.DropFront(2)
+	if p.Len() != 2 || p.Num[0][0] != 3 || p.Num[0][1] != 4 {
+		t.Fatalf("after DropFront: len=%d Num[0]=%v", p.Len(), p.Num[0])
+	}
+	p.DropFront(0) // no-op
+	if p.Len() != 2 {
+		t.Fatalf("DropFront(0) changed length to %d", p.Len())
+	}
+
+	// SetRows resets in place; capacity is retained across clusters.
+	before := cap(p.Num[0])
+	p.SetRows(rows[:3])
+	if p.Len() != 3 || p.Num[0][0] != 1 {
+		t.Fatalf("after SetRows: len=%d Num[0]=%v", p.Len(), p.Num[0])
+	}
+	if cap(p.Num[0]) != before {
+		t.Errorf("SetRows reallocated: cap %d -> %d", before, cap(p.Num[0]))
+	}
+}

@@ -29,6 +29,9 @@ type dbMetrics struct {
 	streamPushes   *obs.Counter
 	streamMatches  *obs.Counter
 	streamClusters *obs.Gauge
+
+	kernelCompiled *obs.Counter
+	kernelFallback *obs.Counter
 }
 
 func newDBMetrics() *dbMetrics {
@@ -61,6 +64,10 @@ func newDBMetrics() *dbMetrics {
 			"Matches emitted by continuous queries."),
 		streamClusters: reg.Gauge("sqlts_stream_active_clusters",
 			"Cluster matchers currently live across open streams."),
+		kernelCompiled: reg.Counter("sqlts_kernel_elements_compiled_total",
+			"Pattern elements compiled to columnar predicate kernels at Prepare."),
+		kernelFallback: reg.Counter("sqlts_kernel_elements_fallback_total",
+			"Pattern elements left on the interpreter (opaque or disjunctive conditions)."),
 	}
 }
 

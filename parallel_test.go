@@ -61,6 +61,67 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelKernelMatchesInterpreter crosses the two execution axes:
+// serial vs parallel and kernel vs interpreter must all agree on rows
+// and on pred-evals (the paper's metric is execution-strategy
+// independent).
+func TestParallelKernelMatchesInterpreter(t *testing.T) {
+	db := quoteDB(t)
+	for s := 0; s < 24; s++ {
+		name := fmt.Sprintf("K%02d", s)
+		prices := workload.GeometricWalk(workload.WalkConfig{
+			Seed: int64(100 + s), N: 250, Start: 40 + float64(s), Drift: 0, Vol: 0.02,
+		})
+		insertSeries(t, db, name, 10000, prices...)
+	}
+	q, err := db.Prepare(`
+		SELECT X.name, FIRST(Y).date, COUNT(Y) AS days
+		FROM quote
+		  CLUSTER BY name
+		  SEQUENCE BY date
+		  AS (X, *Y, Z)
+		WHERE X.price >= X.previous.price
+		  AND Y.price < 0.99 * Y.previous.price
+		  AND Z.price > Z.previous.price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := q.RunWith(RunOptions{NoKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Rows) == 0 {
+		t.Fatal("workload produced no matches; adjust parameters")
+	}
+	for _, c := range []struct {
+		label string
+		opts  RunOptions
+	}{
+		{"serial+kernel", RunOptions{}},
+		{"parallel+kernel", RunOptions{Parallel: true}},
+		{"parallel+interp", RunOptions{Parallel: true, NoKernel: true}},
+	} {
+		res, err := q.RunWith(c.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if len(res.Rows) != len(ref.Rows) {
+			t.Fatalf("%s: %d rows, reference %d", c.label, len(res.Rows), len(ref.Rows))
+		}
+		for i := range ref.Rows {
+			for col := range ref.Rows[i] {
+				if !valuesEqual(ref.Rows[i][col], res.Rows[i][col]) {
+					t.Fatalf("%s: row %d col %d: %v, reference %v",
+						c.label, i, col, res.Rows[i][col], ref.Rows[i][col])
+				}
+			}
+		}
+		if res.Stats.PredEvals != ref.Stats.PredEvals {
+			t.Errorf("%s: %d pred-evals, reference %d", c.label, res.Stats.PredEvals, ref.Stats.PredEvals)
+		}
+	}
+}
+
 func valuesEqual(a, b storage.Value) bool {
 	if a.IsNull() || b.IsNull() {
 		return a.IsNull() == b.IsNull()

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlts/internal/constraint"
@@ -252,6 +253,11 @@ type RunOptions struct {
 	// bounded by GOMAXPROCS). Results are identical to serial execution,
 	// including row order.
 	Parallel bool
+	// NoKernel disables the compiled columnar predicate kernels and
+	// evaluates every probe through the condition interpreter — for
+	// experiments and differential testing; results and statistics are
+	// identical either way.
+	NoKernel bool
 }
 
 // Result is the outcome of a query execution.
@@ -305,6 +311,7 @@ type Query struct {
 	db       *DB
 	compiled *query.Compiled
 	tables   *core.Tables
+	kernel   *pattern.Kernel
 	lastPath []engine.PathPoint
 
 	sql     string
@@ -385,6 +392,13 @@ func (db *DB) prepareSelect(sel *query.SelectStmt, sql string, tr *obs.Trace) (*
 		sp.Annotate("avg-shift", fmt.Sprintf("%.2f", q.tables.AvgShift())).
 			Annotate("avg-next", fmt.Sprintf("%.2f", q.tables.AvgNext())).
 			End()
+		sp = tr.Start("kernel")
+		q.kernel = p.CompileKernel()
+		sp.Annotate("compiled-elements", q.kernel.CompiledElems()).
+			Annotate("fallback-elements", q.kernel.FallbackElems()).
+			End()
+		db.metrics.kernelCompiled.Add(int64(q.kernel.CompiledElems()))
+		db.metrics.kernelFallback.Add(int64(q.kernel.FallbackElems()))
 	}
 	return q, nil
 }
@@ -427,7 +441,7 @@ func (q *Query) Explain() string {
 	if len(q.compiled.SequenceBy) > 0 {
 		fmt.Fprintf(&b, "sequence by %s\n", strings.Join(q.compiled.SequenceBy, ", "))
 	}
-	for _, e := range p.Elems {
+	for i, e := range p.Elems {
 		star := " "
 		if e.Star {
 			star = "*"
@@ -435,6 +449,17 @@ func (q *Query) Explain() string {
 		fmt.Fprintf(&b, "  %s%-4s %s", star, e.Name, e.Sys)
 		for _, cc := range e.CrossConds {
 			fmt.Fprintf(&b, " AND [cross] %s", cc.Key)
+		}
+		if q.kernel != nil && !q.kernel.ElemCompiled(i) {
+			b.WriteString("  [kernel: interpreter fallback]")
+		}
+		b.WriteByte('\n')
+	}
+	if q.kernel != nil {
+		fmt.Fprintf(&b, "kernel: %d/%d elements compiled to columnar chains",
+			q.kernel.CompiledElems(), p.Len())
+		if n := q.kernel.FallbackElems(); n > 0 {
+			fmt.Fprintf(&b, " (%d interpreter fallback)", n)
 		}
 		b.WriteByte('\n')
 	}
@@ -584,13 +609,19 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 		workers = len(clusters)
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var failed atomic.Bool
+	// Buffered to the cluster count so the dispatch loop below never
+	// blocks on slow workers, and can stop early on failure.
+	next := make(chan int, len(clusters))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ex := q.newExecutor(opts, policy)
 			for ci := range next {
+				if failed.Load() {
+					continue
+				}
 				seq := clusters[ci]
 				ms, stats := ex.FindAll(seq)
 				out := clusterOut{matches: ms, stats: stats}
@@ -598,6 +629,7 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 					row, err := q.compiled.EvalSelect(seq, m.Spans)
 					if err != nil {
 						out.err = err
+						failed.Store(true)
 						break
 					}
 					out.rows = append(out.rows, row)
@@ -607,6 +639,9 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 		}()
 	}
 	for ci := range clusters {
+		if failed.Load() {
+			break // a worker hit an error; don't feed the rest
+		}
 		next <- ci
 	}
 	close(next)
@@ -628,25 +663,36 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 
 func (q *Query) newExecutor(opts RunOptions, policy engine.SkipPolicy) engine.Executor {
 	p := q.compiled.Pattern
+	kern := q.kernel
+	if opts.NoKernel {
+		kern = nil
+	}
 	switch opts.Executor {
 	case NaiveExec:
 		n := engine.NewNaive(p, policy)
+		n.UseKernel(kern)
 		if opts.Trace {
 			n.Trace()
 		}
 		return n
 	case OPSShiftOnlyExec:
-		return engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, ShiftOnly: true})
+		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, ShiftOnly: true})
+		o.UseKernel(kern)
+		return o
 	case OPSNoCountersExec:
-		return engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, NoCounters: true})
+		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, NoCounters: true})
+		o.UseKernel(kern)
+		return o
 	case OPSSkipExec:
 		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, LastRowSkip: true})
+		o.UseKernel(kern)
 		if opts.Trace {
 			o.Trace()
 		}
 		return o
 	default:
 		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy})
+		o.UseKernel(kern)
 		if opts.Trace {
 			o.Trace()
 		}

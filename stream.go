@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sqlts/internal/core"
 	"sqlts/internal/engine"
 	"sqlts/internal/pattern"
 	"sqlts/internal/storage"
@@ -18,6 +19,9 @@ type StreamOptions struct {
 	// MaxBuffer bounds the per-cluster retained window (0 = unbounded);
 	// matches longer than the bound are abandoned.
 	MaxBuffer int
+	// NoKernel disables the compiled columnar predicate kernels for this
+	// stream and interprets every probe (see RunOptions.NoKernel).
+	NoKernel bool
 }
 
 // Stream is a continuous (push-based) execution of a prepared SQL-TS
@@ -31,6 +35,7 @@ type Stream struct {
 	q        *Query
 	opts     StreamOptions
 	sink     func(storage.Row) error
+	tables   *core.Tables // stream shift/next tables, shared by all clusters
 	clusters map[string]*clusterStream
 	seqIdx   []int
 	cluIdx   []int
@@ -41,11 +46,19 @@ type Stream struct {
 type clusterStream struct {
 	s       *engine.Streamer
 	lastSeq storage.Row // last sequence-by key values
+
+	// Per-match scratch, recycled between emissions to keep the
+	// steady-state streaming path allocation-free.
+	spanScratch []pattern.Span
+	rowScratch  storage.Row
 }
 
 // OpenStream starts a continuous execution of the query. The sink is
 // called synchronously from Push/Close with each match's output row; a
 // sink error aborts the stream (surfaced by the failing Push/Close).
+// The row passed to the sink is only valid for the duration of the call
+// — it is recycled for the next match; sinks that retain it must copy
+// (storage.Row.Clone).
 func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*Stream, error) {
 	if q.compiled.Pattern == nil {
 		return nil, fmt.Errorf("sqlts: OpenStream requires a sequence pattern query")
@@ -54,6 +67,7 @@ func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*S
 		q:        q,
 		opts:     opts,
 		sink:     sink,
+		tables:   core.ComputeForStream(q.compiled.Pattern),
 		clusters: map[string]*clusterStream{},
 	}
 	for _, col := range q.compiled.SequenceBy {
@@ -134,6 +148,10 @@ func (st *Stream) newClusterStream() *clusterStream {
 		Policy:      policy,
 		LastRowSkip: st.opts.LastRowSkip,
 		MaxBuffer:   st.opts.MaxBuffer,
+		Tables:      st.tables,
+		// This emit callback consumes Spans synchronously, so the
+		// matcher may recycle them between emissions.
+		ReuseSpans: true,
 	}, func(m engine.Match) {
 		if st.sinkErr != nil {
 			return
@@ -144,21 +162,29 @@ func (st *Stream) newClusterStream() *clusterStream {
 		// past the match end (e.g. a trailing X.next) resolve to NULL if
 		// that tuple has not arrived yet — streaming emits eagerly.
 		window, base := cs.s.Window()
-		spans := make([]pattern.Span, len(m.Spans))
+		if cap(cs.spanScratch) < len(m.Spans) {
+			cs.spanScratch = make([]pattern.Span, len(m.Spans))
+		}
+		spans := cs.spanScratch[:len(m.Spans)]
 		for k, sp := range m.Spans {
+			spans[k] = pattern.Span{}
 			if sp.Set {
 				spans[k] = pattern.Span{Start: sp.Start - base, End: sp.End - base, Set: true}
 			}
 		}
-		row, err := st.q.compiled.EvalSelect(window, spans)
+		row, err := st.q.compiled.EvalSelectInto(cs.rowScratch, window, spans)
 		if err != nil {
 			st.sinkErr = err
 			return
 		}
+		cs.rowScratch = row
 		if err := st.sink(row); err != nil {
 			st.sinkErr = err
 		}
 	})
+	if !st.opts.NoKernel {
+		cs.s.UseKernel(st.q.kernel)
+	}
 	return cs
 }
 
