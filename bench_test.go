@@ -81,6 +81,10 @@ func BenchmarkCompile(b *testing.B) {
 			if err := db.DeclarePositive("djia", "price"); err != nil {
 				b.Fatal(err)
 			}
+			// This family measures the compile pipeline itself, so the
+			// plan cache must not short-circuit it (BenchmarkServing
+			// covers the cached path).
+			db.SetPlanCacheCapacity(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := db.Prepare(c.sql); err != nil {
@@ -333,5 +337,66 @@ func BenchmarkAblationNoImplication(b *testing.B) {
 	})
 	b.Run("syntactic", func(b *testing.B) {
 		runExecutor(b, engine.NewOPS(p, syn, engine.OPSConfig{}), seq)
+	})
+}
+
+// BenchmarkServing measures the PR 4 serving path end to end — SQL text
+// in, result out via db.Query — on the double-bottom workload. "cold"
+// purges both caches every iteration, so each run pays parse + GSW +
+// matrices + kernel compile plus the O(n log n) cluster partition;
+// "warm" is the steady state of a server replaying the same statement:
+// plan and partition both served from cache.
+func BenchmarkServing(b *testing.B) {
+	prices := workload.DJIA25Years(1)
+	for i := 0; i < 12; i++ {
+		workload.PlantDoubleBottom(prices, 1+(i+1)*len(prices)/13)
+	}
+	newDB := func(b *testing.B) *sqlts.DB {
+		db := sqlts.New()
+		db.RegisterTable(workload.SeriesTable("djia", 2557, prices))
+		if err := db.DeclarePositive("djia", "price"); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	sql := ta.DoubleBottom("djia", 0.02)
+
+	b.Run("cold", func(b *testing.B) {
+		db := newDB(b)
+		var evals int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.PurgeCaches()
+			res, err := db.Query(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.PlanCached() || res.PartitionCached() {
+				b.Fatal("cold run hit a cache")
+			}
+			evals = res.Stats.PredEvals
+		}
+		b.ReportMetric(float64(evals), "pred-evals")
+	})
+	b.Run("warm", func(b *testing.B) {
+		db := newDB(b)
+		if _, err := db.Query(sql); err != nil { // prime both caches
+			b.Fatal(err)
+		}
+		var evals int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.PlanCached() || !res.PartitionCached() {
+				b.Fatal("warm run missed a cache")
+			}
+			evals = res.Stats.PredEvals
+		}
+		b.ReportMetric(float64(evals), "pred-evals")
 	})
 }

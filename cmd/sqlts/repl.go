@@ -21,6 +21,8 @@ import (
 //	\exec NAME    switch executor (ops, naive, ops+skip, ...)
 //	\stats        toggle statistics printing (per-query counters)
 //	\timing [on|off]  toggle wall-clock timing of each statement
+//	              (cache hits are noted on the timing line)
+//	\cache        plan/partition cache sizes, hit rates, table versions
 //	\metrics      dump the Prometheus metrics registry
 //
 // EXPLAIN [ANALYZE] SELECT ... statements pass through to the engine
@@ -74,6 +76,8 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 					continue
 				}
 				fmt.Fprintf(out, "timing: %v\n", onOff(timing))
+			case trimmed == `\cache`:
+				printCacheStats(db, out)
 			case trimmed == `\metrics`:
 				if err := db.WriteMetrics(out); err != nil {
 					fmt.Fprintln(out, "error:", err)
@@ -117,6 +121,43 @@ func onOff(v bool) string {
 	return "off"
 }
 
+// printCacheStats renders the serving-cache snapshot for \cache: both
+// caches' occupancy and hit rates plus each table's data version (the
+// counter partition invalidation keys on).
+func printCacheStats(db *sqlts.DB, out io.Writer) {
+	cs := db.CacheStats()
+	fmt.Fprintf(out, "plan cache:      %d/%d entries, %d hits, %d misses%s\n",
+		cs.PlanEntries, cs.PlanCapacity, cs.PlanHits, cs.PlanMisses,
+		hitRate(cs.PlanHits, cs.PlanMisses))
+	fmt.Fprintf(out, "partition cache: %d/%d entries, %d hits, %d misses, %d invalidations%s\n",
+		cs.PartitionEntries, cs.PartitionCapacity, cs.PartitionHits, cs.PartitionMisses,
+		cs.PartitionInvalidations, hitRate(cs.PartitionHits, cs.PartitionMisses))
+	for _, n := range db.TableNames() {
+		fmt.Fprintf(out, "table %s: version %d (%d rows)\n", n, db.Table(n).Version(), db.Table(n).Len())
+	}
+}
+
+func hitRate(hits, misses int64) string {
+	if hits+misses == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%.1f%% hit rate)", 100*float64(hits)/float64(hits+misses))
+}
+
+// cacheNote summarizes a result's cache outcome for the timing line.
+func cacheNote(res *sqlts.Result) string {
+	switch {
+	case res.PlanCached() && res.PartitionCached():
+		return " (plan: cached, partition: cached)"
+	case res.PlanCached():
+		return " (plan: cached)"
+	case res.PartitionCached():
+		return " (partition: cached)"
+	default:
+		return ""
+	}
+}
+
 // execOpts carry the REPL toggles into statement execution.
 type execOpts struct {
 	kind    sqlts.ExecutorKind
@@ -134,6 +175,7 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) erro
 	}
 	for _, st := range stmts {
 		start := time.Now()
+		note := ""
 		switch st := st.(type) {
 		case *query.SelectStmt, *query.ExplainStmt:
 			// A plain EXPLAIN never executes, so a counter line would
@@ -153,6 +195,7 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) erro
 			if err != nil {
 				return err
 			}
+			note = cacheNote(res)
 			if err := res.Format(out); err != nil {
 				return err
 			}
@@ -168,7 +211,7 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) erro
 			fmt.Fprintln(out, "ok")
 		}
 		if opts.timing {
-			fmt.Fprintf(out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+			fmt.Fprintf(out, "Time: %.3f ms%s\n", float64(time.Since(start).Microseconds())/1000, note)
 		}
 	}
 	return nil

@@ -115,3 +115,38 @@ func TestParseExecKinds(t *testing.T) {
 		t.Error("bad executor accepted")
 	}
 }
+
+// TestREPLCache covers the \cache meta-command and the cache note on
+// the timing line for a repeated statement.
+func TestREPLCache(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader(`
+CREATE TABLE q (d DATE, p REAL);
+INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
+\timing on
+SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\cache
+\q
+`)
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"(plan: cached, partition: cached)", // timing note on the repeat
+		"plan cache:",
+		"partition cache:",
+		"hit rate",
+		"table q: version 3 (3 rows)", // one version bump per inserted row
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+	// The cold first SELECT must not claim a cache hit.
+	if strings.Count(got, "plan: cached") != 1 {
+		t.Errorf("expected exactly one cached timing note:\n%s", got)
+	}
+}

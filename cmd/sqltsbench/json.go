@@ -20,6 +20,7 @@ import (
 	"sqlts/internal/engine"
 	"sqlts/internal/storage"
 	"sqlts/internal/workload"
+	"sqlts/ta"
 )
 
 type benchEntry struct {
@@ -132,6 +133,10 @@ func writeBenchJSON(path, variant string, seed int64) error {
 		if err := db.DeclarePositive("djia", "price"); err != nil {
 			return err
 		}
+		// Measure real compiles: the plan cache would otherwise serve
+		// every iteration after the first (the serving family below
+		// records the cached path).
+		db.SetPlanCacheCapacity(0)
 		sql := c.sql
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -177,6 +182,53 @@ func writeBenchJSON(path, variant string, seed int64) error {
 		}
 	})
 	e = entryOf("streaming", "doublebottom/stream", variant, r)
+	e.PredEvals = evals
+	doc.Entries = append(doc.Entries, e)
+
+	// Serving: the PR 4 end-to-end path (db.Query on SQL text) with the
+	// caches cold (purged every iteration: full compile + partition sort)
+	// versus warm (plan and partition both served from cache).
+	servingPrices := workload.DJIA25Years(seed)
+	for i := 0; i < 12; i++ {
+		workload.PlantDoubleBottom(servingPrices, 1+(i+1)*len(servingPrices)/13)
+	}
+	sdb := sqlts.New()
+	sdb.RegisterTable(workload.SeriesTable("djia", 2557, servingPrices))
+	if err := sdb.DeclarePositive("djia", "price"); err != nil {
+		return err
+	}
+	servingSQL := ta.DoubleBottom("djia", 0.02)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sdb.PurgeCaches()
+			res, err := sdb.Query(servingSQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals = res.Stats.PredEvals
+		}
+	})
+	e = entryOf("serving", "serving/cold", variant, r)
+	e.PredEvals = evals
+	doc.Entries = append(doc.Entries, e)
+	if _, err := sdb.Query(servingSQL); err != nil { // prime both caches
+		return err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sdb.Query(servingSQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.PlanCached() || !res.PartitionCached() {
+				b.Fatal("warm serving run missed a cache")
+			}
+			evals = res.Stats.PredEvals
+		}
+	})
+	e = entryOf("serving", "serving/warm", variant, r)
 	e.PredEvals = evals
 	doc.Entries = append(doc.Entries, e)
 

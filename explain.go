@@ -44,6 +44,8 @@ func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error
 
 	var b strings.Builder
 	b.WriteString(q.Explain())
+	fmt.Fprintf(&b, "plan: %s\n", planWord(q.planCached))
+	fmt.Fprintf(&b, "partition: %s\n", cachedWord(res.partitionCached))
 	b.WriteString("\nPhases:\n")
 	// Render compile phases once plus the span of the run just measured
 	// (the last "execute" span — earlier runs appended their own).
@@ -85,6 +87,14 @@ func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error
 		}
 	}
 	return b.String(), res.Stats, nil
+}
+
+// planWord renders the plan-cache outcome for EXPLAIN ANALYZE.
+func planWord(hit bool) string {
+	if hit {
+		return "cached"
+	}
+	return "compiled"
 }
 
 func indent(s, prefix string) string {

@@ -99,6 +99,10 @@ type Executor interface {
 	// FindAll returns all matches in seq under the executor's policy,
 	// along with the search statistics.
 	FindAll(seq []storage.Row) ([]Match, Stats)
+	// UseProjection supplies a prebuilt columnar projection of the next
+	// FindAll sequence (see evaluator.UseProjection); a no-op when no
+	// kernel is attached.
+	UseProjection(*storage.Projection)
 	// Name identifies the executor in benchmark output.
 	Name() string
 }
@@ -109,13 +113,17 @@ type Executor interface {
 // columnar chains; otherwise they interpret the pattern directly. Both
 // paths produce identical matches and identical Stats.
 type evaluator struct {
-	p     *pattern.Pattern
-	kern  *pattern.Kernel
-	proj  *storage.Projection
-	stats Stats
-	trace []PathPoint
-	doTrc bool
-	ctx   pattern.EvalContext
+	p    *pattern.Pattern
+	kern *pattern.Kernel
+	// proj is the projection probes read from: either ownProj (built by
+	// reset) or a caller-supplied shared projection (UseProjection).
+	proj     *storage.Projection
+	ownProj  *storage.Projection
+	nextProj *storage.Projection
+	stats    Stats
+	trace    []PathPoint
+	doTrc    bool
+	ctx      pattern.EvalContext
 }
 
 func newEvaluator(p *pattern.Pattern) evaluator {
@@ -128,11 +136,20 @@ func newEvaluator(p *pattern.Pattern) evaluator {
 // with no compiled elements) leaves the interpreter in place.
 func (e *evaluator) UseKernel(k *pattern.Kernel) {
 	if k == nil || k.CompiledElems() == 0 {
-		e.kern, e.proj = nil, nil
+		e.kern, e.proj, e.ownProj = nil, nil, nil
 		return
 	}
 	e.kern = k
-	e.proj = k.NewProjection()
+}
+
+// UseProjection supplies a prebuilt columnar projection of the next
+// sequence passed to FindAll, letting callers that cache partitions skip
+// the per-search re-projection. The projection must cover exactly that
+// sequence (same rows, same order) and may be shared between executors —
+// searches only read it. It applies to one FindAll; call again before
+// each search that should reuse a cached projection.
+func (e *evaluator) UseProjection(proj *storage.Projection) {
+	e.nextProj = proj
 }
 
 // eval tests pattern element j (1-based) against input tuple i (1-based)
@@ -154,7 +171,16 @@ func (e *evaluator) eval(j, i int) bool {
 func (e *evaluator) reset(seq []storage.Row) {
 	e.ctx.Seq = seq
 	if e.kern != nil {
-		e.proj.SetRows(seq)
+		if e.nextProj != nil && e.nextProj.Len() == len(seq) {
+			e.proj = e.nextProj
+		} else {
+			if e.ownProj == nil {
+				e.ownProj = e.kern.NewProjection()
+			}
+			e.ownProj.SetRows(seq)
+			e.proj = e.ownProj
+		}
+		e.nextProj = nil
 	}
 	for k := range e.ctx.Bind {
 		e.ctx.Bind[k] = pattern.Span{}

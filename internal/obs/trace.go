@@ -68,6 +68,23 @@ func (t *Trace) Start(name string) *Span {
 	return &Span{Name: name, Start: time.Now(), tr: t}
 }
 
+// Add appends already-finished spans to the trace (shallow copies, so
+// the source spans stay untouched). The serving layer uses it to replay
+// a cached plan's compile-phase spans into the trace of each query the
+// plan serves.
+func (t *Trace) Add(spans ...*Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range spans {
+		c := *sp
+		c.tr = t
+		t.spans = append(t.spans, &c)
+	}
+}
+
 // Spans returns the completed spans in completion order.
 func (t *Trace) Spans() []*Span {
 	if t == nil {

@@ -47,6 +47,9 @@ func ReadCSV(name string, schema *Schema, r io.Reader) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	// One version bump for the whole load: the table was built
+	// single-threaded, so per-row locking would buy nothing.
+	t.bump()
 	return t, nil
 }
 
@@ -72,7 +75,8 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		return err
 	}
 	rec := make([]string, t.Schema.Len())
-	for _, row := range t.Rows {
+	rows, _ := t.Snapshot()
+	for _, row := range rows {
 		for i, v := range row {
 			if v.IsNull() {
 				rec[i] = ""

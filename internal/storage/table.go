@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Column describes one column of a table schema.
@@ -69,12 +70,22 @@ type Row []Value
 // Clone returns a copy of the row.
 func (r Row) Clone() Row { return append(Row(nil), r...) }
 
-// Table is an in-memory relation: a schema plus a bag of rows.
-// It is not safe for concurrent mutation.
+// Table is an in-memory relation: a schema plus an append-only bag of
+// rows, stamped with a monotonic data version.
+//
+// Concurrency: Insert appends under an internal lock and bumps the
+// version; Snapshot/Version/Len/Cluster read under the same lock, and
+// the row prefix a Snapshot returns is immutable (rows are never edited
+// in place). Insert-while-query is therefore safe. The exported Rows
+// field remains for single-threaded loaders and tests; code that
+// mutates it directly forfeits both safety and version tracking.
 type Table struct {
 	Name   string
 	Schema *Schema
 	Rows   []Row
+
+	mu      sync.RWMutex
+	version uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -84,6 +95,7 @@ func NewTable(name string, schema *Schema) *Table {
 
 // Insert appends a row after validating arity and types. Ints widen to
 // float columns (and integral floats narrow to int columns) automatically.
+// Each successful Insert bumps the table version.
 func (t *Table) Insert(vals ...Value) error {
 	if len(vals) != t.Schema.Len() {
 		return fmt.Errorf("storage: %s: insert arity %d, want %d", t.Name, len(vals), t.Schema.Len())
@@ -104,7 +116,10 @@ func (t *Table) Insert(vals ...Value) error {
 		}
 		row[i] = v
 	}
+	t.mu.Lock()
 	t.Rows = append(t.Rows, row)
+	t.version++
+	t.mu.Unlock()
 	return nil
 }
 
@@ -116,7 +131,41 @@ func (t *Table) MustInsert(vals ...Value) {
 }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.Rows)
+}
+
+// Version returns the table's data version: a counter bumped by every
+// Insert (and once per bulk load). Two equal versions of the same
+// *Table guarantee identical row contents, which is what the engine's
+// partition cache keys on.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Snapshot returns the current rows and the version they correspond to,
+// taken atomically. The returned slice is an immutable prefix: later
+// Inserts never modify it, so callers may read it without holding any
+// lock (its capacity is clipped so callers cannot append into shared
+// storage either).
+func (t *Table) Snapshot() ([]Row, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Rows[:len(t.Rows):len(t.Rows)], t.version
+}
+
+// bump marks a bulk mutation performed directly on Rows (CSV load);
+// single bump per batch keeps the version monotonic without per-row
+// locking during construction.
+func (t *Table) bump() {
+	t.mu.Lock()
+	t.version++
+	t.mu.Unlock()
+}
 
 // Cluster groups and orders the table's rows per the paper's
 // CLUSTER BY / SEQUENCE BY semantics (Figure 1): rows are grouped by the
@@ -125,28 +174,44 @@ func (t *Table) Len() int { return len(t.Rows) }
 // columns. It returns one row-slice per cluster; with no cluster columns
 // the whole table is a single cluster.
 func (t *Table) Cluster(clusterBy, sequenceBy []string) ([][]Row, error) {
+	groups, _, err := t.ClusterVersion(clusterBy, sequenceBy)
+	return groups, err
+}
+
+// ClusterVersion is Cluster over an atomic Snapshot: it additionally
+// returns the data version the partition was built from, so caches can
+// pair the shared [][]Row with the exact table state it reflects. The
+// returned groups never alias mutable table storage (group backing
+// arrays are freshly built), so they are safe to share read-only across
+// goroutines.
+func (t *Table) ClusterVersion(clusterBy, sequenceBy []string) ([][]Row, uint64, error) {
 	cidx, err := t.resolve(clusterBy)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sidx, err := t.resolve(sequenceBy)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	rows, version := t.Snapshot()
 
 	var groups [][]Row
 	if len(cidx) == 0 {
-		if len(t.Rows) > 0 {
-			groups = [][]Row{append([]Row(nil), t.Rows...)}
+		if len(rows) > 0 {
+			groups = [][]Row{append([]Row(nil), rows...)}
 		}
 	} else {
 		order := make(map[string]int)
-		for _, r := range t.Rows {
-			key := clusterKey(r, cidx)
-			gi, ok := order[key]
+		// One scratch buffer serves every row's key; group keys are only
+		// materialized as strings when a new group first appears (map
+		// probes on string(scratch) don't allocate).
+		var scratch []byte
+		for _, r := range rows {
+			scratch = appendClusterKey(scratch[:0], r, cidx)
+			gi, ok := order[string(scratch)]
 			if !ok {
 				gi = len(groups)
-				order[key] = gi
+				order[string(scratch)] = gi
 				groups = append(groups, nil)
 			}
 			groups[gi] = append(groups[gi], r)
@@ -170,11 +235,11 @@ func (t *Table) Cluster(clusterBy, sequenceBy []string) ([][]Row, error) {
 				return false
 			})
 			if sortErr != nil {
-				return nil, sortErr
+				return nil, 0, sortErr
 			}
 		}
 	}
-	return groups, nil
+	return groups, version, nil
 }
 
 func (t *Table) resolve(names []string) ([]int, error) {
@@ -189,15 +254,16 @@ func (t *Table) resolve(names []string) ([]int, error) {
 	return idx, nil
 }
 
-func clusterKey(r Row, idx []int) string {
-	var b strings.Builder
+// appendClusterKey appends a type-tagged encoding of the cluster columns
+// to b. The tag byte keeps values of different types distinct even when
+// their textual forms collide (e.g. the string "42" vs the integer 42).
+func appendClusterKey(b []byte, r Row, idx []int) []byte {
 	for _, i := range idx {
-		b.WriteString(r[i].Type().String())
-		b.WriteByte(':')
-		b.WriteString(r[i].String())
-		b.WriteByte(0)
+		b = append(b, byte(r[i].Type()))
+		b = r[i].AppendKey(b)
+		b = append(b, 0)
 	}
-	return b.String()
+	return b
 }
 
 // Project returns the values of the named columns of row r.

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -253,5 +254,143 @@ func TestCSVFileHelpers(t *testing.T) {
 	}
 	if _, err := ReadCSVFile("quote", s, path+".nope"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestVersionAndSnapshot(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	if tbl.Version() != 0 {
+		t.Errorf("fresh table version = %d", tbl.Version())
+	}
+	tbl.MustInsert(NewString("IBM"), NewDateDays(1), NewFloat(80))
+	if tbl.Version() != 1 {
+		t.Errorf("version after insert = %d, want 1", tbl.Version())
+	}
+	rows, ver := tbl.Snapshot()
+	if len(rows) != 1 || ver != 1 {
+		t.Fatalf("Snapshot = %d rows at version %d", len(rows), ver)
+	}
+	// The snapshot is an immutable prefix: later inserts must not be
+	// visible through it, and appending to it must not alias the table.
+	tbl.MustInsert(NewString("IBM"), NewDateDays(2), NewFloat(81))
+	if len(rows) != 1 {
+		t.Error("snapshot grew after insert")
+	}
+	_ = append(rows, Row{NewString("EVIL"), NewDateDays(3), NewFloat(0)})
+	rows2, ver2 := tbl.Snapshot()
+	if ver2 != 2 || len(rows2) != 2 || rows2[1][0].Str() != "IBM" {
+		t.Errorf("append through snapshot corrupted the table: %v (version %d)", rows2, ver2)
+	}
+	// A failed insert does not bump the version.
+	if err := tbl.Insert(NewInt(1), NewDateDays(3), NewFloat(1)); err == nil {
+		t.Fatal("bad insert accepted")
+	}
+	if tbl.Version() != 2 {
+		t.Errorf("failed insert bumped version to %d", tbl.Version())
+	}
+}
+
+func TestCSVLoadBumpsVersion(t *testing.T) {
+	tbl, err := ReadCSV("quote", quoteSchema(t), strings.NewReader(
+		"name,date,price\nIBM,1999-01-26,80.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Version() == 0 {
+		t.Error("CSV load left version at 0")
+	}
+}
+
+func TestClusterVersionConsistency(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	tbl.MustInsert(NewString("IBM"), NewDateDays(2), NewFloat(81))
+	tbl.MustInsert(NewString("IBM"), NewDateDays(1), NewFloat(80))
+	groups, ver, err := tbl.ClusterVersion([]string{"name"}, []string{"date"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != tbl.Version() {
+		t.Errorf("ClusterVersion = %d, table at %d", ver, tbl.Version())
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 || groups[0][0][1].DateDays() != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+// TestConcurrentInsertSnapshot drives readers over Snapshot/Cluster while
+// a writer appends — meaningful under -race.
+func TestConcurrentInsertSnapshot(t *testing.T) {
+	tbl := NewTable("quote", quoteSchema(t))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			tbl.MustInsert(NewString("IBM"), NewDateDays(int64(i)), NewFloat(float64(i)))
+		}
+	}()
+	for {
+		rows, ver := tbl.Snapshot()
+		if int(ver) != len(rows) {
+			t.Fatalf("snapshot skew: version %d with %d rows", ver, len(rows))
+		}
+		if _, _, err := tbl.ClusterVersion([]string{"name"}, []string{"date"}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			if rows, ver := tbl.Snapshot(); ver != 200 || len(rows) != 200 {
+				t.Fatalf("final snapshot: version %d, %d rows", ver, len(rows))
+			}
+			return
+		default:
+		}
+	}
+}
+
+// benchTable builds a table of n rows spread over k interleaved clusters.
+func benchTable(b *testing.B, n, k int) *Table {
+	b.Helper()
+	s, err := NewSchema(
+		Column{Name: "name", Type: TypeString},
+		Column{Name: "date", Type: TypeDate},
+		Column{Name: "price", Type: TypeFloat},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := NewTable("bench", s)
+	for i := 0; i < n; i++ {
+		tbl.MustInsert(
+			NewString(fmt.Sprintf("S%03d", i%k)),
+			NewDateDays(int64(i/k)),
+			NewFloat(float64(i%97)),
+		)
+	}
+	return tbl
+}
+
+// BenchmarkCluster measures the partition build (group + sort) that the
+// serving-path partition cache amortizes away; the clusterKey scratch
+// buffer keeps the grouping loop allocation-free per row.
+func BenchmarkCluster(b *testing.B) {
+	tbl := benchTable(b, 100_000, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Cluster([]string{"name"}, []string{"date"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	tbl := benchTable(b, 100_000, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := tbl.Snapshot()
+		if len(rows) != 100_000 {
+			b.Fatal("bad snapshot")
+		}
 	}
 }

@@ -234,6 +234,23 @@ func (v Value) String() string {
 	}
 }
 
+// AppendKey appends a compact canonical encoding of the value to b
+// without allocating: numeric payloads via strconv append variants,
+// dates as raw day counts. Encodings are unique per (type, value) pair;
+// callers that mix types in one key must add their own type tags.
+func (v Value) AppendKey(b []byte) []byte {
+	switch v.typ {
+	case TypeInt, TypeDate, TypeBool:
+		return strconv.AppendInt(b, v.i, 10)
+	case TypeFloat:
+		return strconv.AppendFloat(b, v.f, 'g', -1, 64)
+	case TypeString:
+		return append(b, v.s...)
+	default:
+		return b
+	}
+}
+
 // ParseValue parses s as the given type. Dates accept YYYY-MM-DD and
 // M/D/YY[YY] (the paper's figures use the latter).
 func ParseValue(s string, t Type) (Value, error) {

@@ -32,6 +32,12 @@ type dbMetrics struct {
 
 	kernelCompiled *obs.Counter
 	kernelFallback *obs.Counter
+
+	planCacheHits               *obs.Counter
+	planCacheMisses             *obs.Counter
+	partitionCacheHits          *obs.Counter
+	partitionCacheMisses        *obs.Counter
+	partitionCacheInvalidations *obs.Counter
 }
 
 func newDBMetrics() *dbMetrics {
@@ -68,6 +74,16 @@ func newDBMetrics() *dbMetrics {
 			"Pattern elements compiled to columnar predicate kernels at Prepare."),
 		kernelFallback: reg.Counter("sqlts_kernel_elements_fallback_total",
 			"Pattern elements left on the interpreter (opaque or disjunctive conditions)."),
+		planCacheHits: reg.Counter("sqlts_plan_cache_hits_total",
+			"Prepares served a cached plan (compile pipeline skipped)."),
+		planCacheMisses: reg.Counter("sqlts_plan_cache_misses_total",
+			"Prepares that compiled a plan (cold, evicted, or catalog-stale)."),
+		partitionCacheHits: reg.Counter("sqlts_partition_cache_hits_total",
+			"Executions that reused a cached cluster partition (sort skipped)."),
+		partitionCacheMisses: reg.Counter("sqlts_partition_cache_misses_total",
+			"Executions that built a cluster partition."),
+		partitionCacheInvalidations: reg.Counter("sqlts_partition_cache_invalidations_total",
+			"Cached partitions replaced because the table version moved (inserts/loads)."),
 	}
 }
 
@@ -128,7 +144,7 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 		m.slowQueries.Inc()
 		if fn != nil {
 			fn(SlowQueryInfo{
-				SQL:      q.sql,
+				SQL:      q.plan.sql,
 				Executor: opts.Executor.String(),
 				Duration: dur,
 				Rows:     len(res.Rows),

@@ -1,0 +1,393 @@
+package sqlts
+
+// The concurrent serving path: one immutable compiled Plan shared by
+// every goroutine that issues the same SQL, plus two DB-level caches
+// that amortize the paper's compile-time work (GSW implication queries,
+// θ/φ matrices, shift/next tables, predicate kernels) and the O(n log n)
+// CLUSTER BY / SEQUENCE BY sort across repeated executions:
+//
+//   - planCache: LRU keyed by whitespace-normalized SQL text, validated
+//     against the DB catalog version (DDL, table registration and
+//     positive-domain declarations invalidate plans; inserts do not).
+//   - partitionCache: LRU keyed by (table, clusterBy, sequenceBy),
+//     validated against storage.Table's monotonic data version. Inserts
+//     bump the version, so the next query rebuilds; in-flight queries
+//     keep reading the old immutable [][]Row (copy-on-invalidate).
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// normalizeSQL is the plan-cache key function: it collapses runs of
+// whitespace to single spaces and trims the ends, so formatting
+// variants of one query share a cache entry. Quoted strings pass
+// through untouched. No parsing happens here — on a cache hit the whole
+// parse/analyze/optimize pipeline is skipped.
+func normalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inQuote := false
+	space := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inQuote {
+			b.WriteByte(c)
+			if c == '\'' {
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r', '\f', '\v':
+			space = true
+		case '\'':
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			inQuote = true
+			b.WriteByte(c)
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// planCache is an LRU of compiled plans keyed by normalized SQL.
+// Entries carry the catalog version they were compiled under; get
+// treats a version mismatch as a miss and evicts the stale entry.
+type planCache struct {
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{capacity: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the cached plan for key when its catalog version still
+// matches, promoting it to most recently used. Callers hold db.cacheMu.
+func (c *planCache) get(key string, catalog uint64) *Plan {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*planEntry)
+	if e.plan.catalogVersion != catalog {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return e.plan
+}
+
+func (c *planCache) put(key string, p *Plan) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: p})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) purge() {
+	c.order.Init()
+	c.entries = map[string]*list.Element{}
+}
+
+// partitionCache is an LRU of clustered partitions keyed by
+// (table, clusterBy, sequenceBy). Each entry pins the exact *Table it
+// was built from and that table's data version at build time, so a
+// replaced table (RegisterTable/LoadCSV under the same name) or any
+// Insert invalidates it. The [][]Row payload is immutable and shared
+// read-only by every execution that hits it.
+type partitionCache struct {
+	capacity int
+	order    *list.List
+	entries  map[string]*list.Element
+}
+
+type partitionEntry struct {
+	key      string
+	table    *storage.Table
+	version  uint64
+	clusters [][]storage.Row
+	rows     int // total input rows across clusters
+
+	// projs memoizes per-cluster columnar projections per kernel, built
+	// lazily on first execution of each plan over this partition. The
+	// projection is a pure function of the (immutable) cluster rows, so
+	// sharing it is observationally identical to rebuilding; it just
+	// removes the O(rows) decode from every warm run. Entries pin their
+	// kernels, but both live no longer than the partition (dropped on
+	// invalidation or eviction) and the cache is capacity-bounded.
+	mu    sync.Mutex
+	projs map[*pattern.Kernel][]*storage.Projection
+}
+
+// projections returns one shared read-only projection per cluster for k,
+// building them on first use. Returns nil when k has nothing compiled
+// (the interpreter path needs no projection).
+func (e *partitionEntry) projections(k *pattern.Kernel) []*storage.Projection {
+	if k == nil || k.CompiledElems() == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ps, ok := e.projs[k]; ok {
+		return ps
+	}
+	ps := make([]*storage.Projection, len(e.clusters))
+	for i, cl := range e.clusters {
+		ps[i] = k.NewProjection()
+		ps[i].SetRows(cl)
+	}
+	if e.projs == nil {
+		e.projs = map[*pattern.Kernel][]*storage.Projection{}
+	}
+	e.projs[k] = ps
+	return ps
+}
+
+func newPartitionCache(capacity int) *partitionCache {
+	return &partitionCache{capacity: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// partitionKey identifies one clustering of one table. Column names are
+// lower-cased (resolution is case-insensitive) so spelling variants of
+// the same clustering share an entry.
+func partitionKey(table string, clusterBy, sequenceBy []string) string {
+	var b strings.Builder
+	b.WriteString(strings.ToLower(table))
+	for _, c := range clusterBy {
+		b.WriteByte(0)
+		b.WriteString(strings.ToLower(c))
+	}
+	b.WriteByte(1)
+	for _, s := range sequenceBy {
+		b.WriteByte(0)
+		b.WriteString(strings.ToLower(s))
+	}
+	return b.String()
+}
+
+// get returns the cached partition when it was built from this exact
+// table at its current version. Callers hold db.cacheMu.
+func (c *partitionCache) get(key string, t *storage.Table) *partitionEntry {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*partitionEntry)
+	if e.table != t || e.version != t.Version() {
+		return nil // stale; left in place so put can count the invalidation
+	}
+	c.order.MoveToFront(el)
+	return e
+}
+
+// put stores a freshly built partition and reports whether it replaced
+// a stale entry for the same key (an invalidation rather than a cold
+// miss).
+func (c *partitionCache) put(e *partitionEntry) (invalidated bool) {
+	if c.capacity <= 0 {
+		return false
+	}
+	if el, ok := c.entries[e.key]; ok {
+		old := el.Value.(*partitionEntry)
+		invalidated = old.table != e.table || old.version != e.version
+		el.Value = e
+		c.order.MoveToFront(el)
+		return invalidated
+	}
+	c.entries[e.key] = c.order.PushFront(e)
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*partitionEntry).key)
+	}
+	return false
+}
+
+func (c *partitionCache) purge() {
+	c.order.Init()
+	c.entries = map[string]*list.Element{}
+}
+
+// Default cache capacities; tune with SetPlanCacheCapacity and
+// SetPartitionCacheCapacity.
+const (
+	defaultPlanCacheCapacity      = 256
+	defaultPartitionCacheCapacity = 64
+)
+
+// CacheStats is a point-in-time snapshot of the serving caches, for
+// dashboards and the REPL's \cache command. Hit/miss counters are
+// cumulative since the DB was created (they mirror the
+// sqlts_plan_cache_* and sqlts_partition_cache_* metric families).
+type CacheStats struct {
+	PlanHits     int64
+	PlanMisses   int64
+	PlanEntries  int
+	PlanCapacity int
+
+	PartitionHits          int64
+	PartitionMisses        int64
+	PartitionInvalidations int64
+	PartitionEntries       int
+	PartitionCapacity      int
+}
+
+// CacheStats snapshots the plan- and partition-cache state.
+func (db *DB) CacheStats() CacheStats {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	m := db.metrics
+	return CacheStats{
+		PlanHits:     m.planCacheHits.Value(),
+		PlanMisses:   m.planCacheMisses.Value(),
+		PlanEntries:  db.plans.order.Len(),
+		PlanCapacity: db.plans.capacity,
+
+		PartitionHits:          m.partitionCacheHits.Value(),
+		PartitionMisses:        m.partitionCacheMisses.Value(),
+		PartitionInvalidations: m.partitionCacheInvalidations.Value(),
+		PartitionEntries:       db.parts.order.Len(),
+		PartitionCapacity:      db.parts.capacity,
+	}
+}
+
+// SetPlanCacheCapacity resizes the plan cache (entries beyond the new
+// capacity are dropped oldest-first); 0 disables plan caching entirely.
+func (db *DB) SetPlanCacheCapacity(n int) {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	db.plans.capacity = n
+	if n <= 0 {
+		db.plans.purge()
+		return
+	}
+	for db.plans.order.Len() > n {
+		oldest := db.plans.order.Back()
+		db.plans.order.Remove(oldest)
+		delete(db.plans.entries, oldest.Value.(*planEntry).key)
+	}
+}
+
+// SetPartitionCacheCapacity resizes the partition cache; 0 disables
+// partition caching entirely.
+func (db *DB) SetPartitionCacheCapacity(n int) {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	db.parts.capacity = n
+	if n <= 0 {
+		db.parts.purge()
+		return
+	}
+	for db.parts.order.Len() > n {
+		oldest := db.parts.order.Back()
+		db.parts.order.Remove(oldest)
+		delete(db.parts.entries, oldest.Value.(*partitionEntry).key)
+	}
+}
+
+// PurgeCaches empties both serving caches (capacities are kept). Useful
+// for cold-path measurements and tests; production code never needs it
+// — versioning invalidates precisely.
+func (db *DB) PurgeCaches() {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	db.plans.purge()
+	db.parts.purge()
+}
+
+// lookupPlan consults the plan cache. A hit returns a Plan that is
+// still valid under the current catalog version.
+func (db *DB) lookupPlan(key string) *Plan {
+	catalog := db.catalog.Load()
+	db.cacheMu.Lock()
+	p := db.plans.get(key, catalog)
+	db.cacheMu.Unlock()
+	if p != nil {
+		db.metrics.planCacheHits.Inc()
+	} else {
+		db.metrics.planCacheMisses.Inc()
+	}
+	return p
+}
+
+func (db *DB) storePlan(key string, p *Plan) {
+	db.cacheMu.Lock()
+	db.plans.put(key, p)
+	db.cacheMu.Unlock()
+}
+
+// partition returns the clustered partition of t for the plan's
+// clusterBy/sequenceBy, serving it from the cache when the table
+// version still matches. The entry's clusters (and any projections built
+// from them) are shared and must be treated as read-only. cached reports
+// whether the partition came from the cache. A bypass run builds a
+// transient entry that is never stored, so it shares nothing.
+func (db *DB) partition(t *storage.Table, clusterBy, sequenceBy []string, bypass bool) (part *partitionEntry, cached bool, err error) {
+	if bypass {
+		cl, version, err := t.ClusterVersion(clusterBy, sequenceBy)
+		if err != nil {
+			return nil, false, err
+		}
+		return &partitionEntry{table: t, version: version, clusters: cl, rows: countRows(cl)}, false, nil
+	}
+	key := partitionKey(t.Name, clusterBy, sequenceBy)
+	db.cacheMu.Lock()
+	e := db.parts.get(key, t)
+	db.cacheMu.Unlock()
+	if e != nil {
+		db.metrics.partitionCacheHits.Inc()
+		return e, true, nil
+	}
+	cl, version, err := t.ClusterVersion(clusterBy, sequenceBy)
+	if err != nil {
+		return nil, false, err
+	}
+	db.metrics.partitionCacheMisses.Inc()
+	e = &partitionEntry{key: key, table: t, version: version, clusters: cl, rows: countRows(cl)}
+	db.cacheMu.Lock()
+	invalidated := db.parts.put(e)
+	db.cacheMu.Unlock()
+	if invalidated {
+		db.metrics.partitionCacheInvalidations.Inc()
+	}
+	return e, false, nil
+}
+
+func countRows(clusters [][]storage.Row) int {
+	n := 0
+	for _, c := range clusters {
+		n += len(c)
+	}
+	return n
+}

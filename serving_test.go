@@ -1,0 +1,472 @@
+package sqlts
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlts/internal/storage"
+)
+
+// equalResults asserts bit-identical results: columns, rows, matches,
+// aggregate Stats and the per-cluster breakdown.
+func equalResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("%s: columns %v != %v", label, got.Columns, want.Columns)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for c := range want.Rows[i] {
+			if !got.Rows[i][c].Equal(want.Rows[i][c]) {
+				t.Fatalf("%s: row %d col %d: %v != %v", label, i, c, got.Rows[i][c], want.Rows[i][c])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("%s: matches differ:\n%v\n%v", label, got.Matches, want.Matches)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %v != %v", label, got.Stats, want.Stats)
+	}
+	if !reflect.DeepEqual(got.ClusterStats(), want.ClusterStats()) {
+		t.Fatalf("%s: cluster stats differ:\n%v\n%v", label, got.ClusterStats(), want.ClusterStats())
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  X.a\n\tFROM q", "SELECT X.a FROM q"},
+		{"  SELECT X.a FROM q  ", "SELECT X.a FROM q"},
+		{"SELECT 'a  b' FROM q", "SELECT 'a  b' FROM q"},
+		{"SELECT\n'a\nb'", "SELECT 'a\nb'"},
+	}
+	for _, c := range cases {
+		if got := normalizeSQL(c.in); got != c.want {
+			t.Errorf("normalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+const servingSQL = `
+	SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
+	WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`
+
+// TestPlanCache checks that repeated Prepares share one immutable plan,
+// that whitespace variants share a cache entry, and that catalog
+// changes (DeclarePositive, RegisterTable) force recompilation.
+func TestPlanCache(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+
+	q1, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.PlanCached() {
+		t.Error("first Prepare reported a cache hit")
+	}
+	q2, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.PlanCached() {
+		t.Error("second Prepare missed the plan cache")
+	}
+	if q1.plan != q2.plan {
+		t.Error("cached Prepare did not share the plan")
+	}
+	// A whitespace variant of the same statement shares the entry.
+	q3, err := db.Prepare("SELECT   X.name FROM quote CLUSTER BY name\nSEQUENCE BY date AS (X, Y, Z)\n\tWHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q3.PlanCached() || q3.plan != q1.plan {
+		t.Error("whitespace variant did not share the cached plan")
+	}
+	// The cached query's trace still carries the compile-phase spans.
+	names := map[string]bool{}
+	for _, sp := range q2.Trace().Spans() {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"plan-cache", "parse", "analyze", "matrices", "shift/next", "kernel"} {
+		if !names[want] {
+			t.Errorf("cached trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	cs := db.CacheStats()
+	if cs.PlanHits != 2 || cs.PlanMisses != 1 || cs.PlanEntries != 1 {
+		t.Errorf("cache stats = %+v, want 2 hits / 1 miss / 1 entry", cs)
+	}
+
+	// DeclarePositive changes what the optimizer may conclude → stale.
+	if err := db.DeclarePositive("quote", "price"); err != nil {
+		t.Fatal(err)
+	}
+	q4, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q4.PlanCached() {
+		t.Error("Prepare after DeclarePositive served a stale plan")
+	}
+
+	// Inserts do NOT invalidate plans (only partitions).
+	insertSeries(t, db, "IBM", 10000, 81, 80.5, 84, 83)
+	q5, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q5.PlanCached() {
+		t.Error("insert invalidated the plan cache")
+	}
+
+	// Capacity 0 disables plan caching.
+	db.SetPlanCacheCapacity(0)
+	q6, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q6.PlanCached() {
+		t.Error("plan cache served a hit with capacity 0")
+	}
+}
+
+// TestPlanCacheLRU checks eviction order.
+func TestPlanCacheLRU(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+	db.SetPlanCacheCapacity(2)
+	sqlFor := func(i int) string {
+		return fmt.Sprintf(`SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) WHERE Y.price > %d*X.price`, i+2)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Prepare(sqlFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 0 was evicted by 2; 1 and 2 remain.
+	q, _ := db.Prepare(sqlFor(0))
+	if q.PlanCached() {
+		t.Error("evicted entry served")
+	}
+	q, _ = db.Prepare(sqlFor(2))
+	if !q.PlanCached() {
+		t.Error("resident entry missed")
+	}
+}
+
+// TestPartitionCache checks reuse over an unchanged table, bit-identical
+// results against an uncached run, and invalidation by Insert.
+func TestPartitionCache(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+	insertSeries(t, db, "IBM", 10000, 81, 80.5, 84, 83)
+
+	ver0 := db.Table("quote").Version()
+	if ver0 == 0 {
+		t.Fatal("inserts did not bump the table version")
+	}
+
+	cold, err := db.Query(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PartitionCached() {
+		t.Error("first run reported a cached partition")
+	}
+	warm, err := db.Query(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.PartitionCached() || !warm.PlanCached() {
+		t.Errorf("warm run: plan cached=%v partition cached=%v, want both", warm.PlanCached(), warm.PartitionCached())
+	}
+	equalResults(t, "warm vs cold", warm, cold)
+
+	// An explicitly uncached run is bit-identical too.
+	q, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bypass, err := q.RunWith(RunOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bypass.PartitionCached() {
+		t.Error("NoCache run reported a cached partition")
+	}
+	equalResults(t, "bypass vs cold", bypass, cold)
+
+	// Insert bumps the version; the next query rebuilds and sees the new
+	// rows (ACME now matches too).
+	insertSeries(t, db, "ACME", 10000, 10, 12, 9, 9.5)
+	if v := db.Table("quote").Version(); v <= ver0 {
+		t.Errorf("version not bumped: %d -> %d", ver0, v)
+	}
+	fresh, err := db.Query(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.PartitionCached() {
+		t.Error("post-insert run served the stale partition")
+	}
+	if len(fresh.Rows) != len(cold.Rows)+1 {
+		t.Errorf("post-insert rows = %d, want %d (stale read?)", len(fresh.Rows), len(cold.Rows)+1)
+	}
+
+	cs := db.CacheStats()
+	if cs.PartitionHits != 1 || cs.PartitionMisses != 2 || cs.PartitionInvalidations != 1 {
+		t.Errorf("partition cache stats = %+v, want 1 hit / 2 misses / 1 invalidation", cs)
+	}
+}
+
+// TestPartitionCacheTableReplaced checks that re-registering a table
+// under the same name never serves the old table's partition.
+func TestPartitionCacheTableReplaced(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+	if _, err := db.Query(servingSQL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace quote with a fresh table of different content.
+	nt := storage.NewTable("quote", db.Table("quote").Schema)
+	db.RegisterTable(nt)
+	res, err := db.Query(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionCached() {
+		t.Error("partition of the replaced table was served")
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d from an empty replacement table", len(res.Rows))
+	}
+}
+
+// TestExplainAnalyzeCacheLines checks that EXPLAIN ANALYZE reports the
+// cache outcome of its run.
+func TestExplainAnalyzeCacheLines(t *testing.T) {
+	db := djiaDoubleBottomDB(t)
+	sql := "EXPLAIN ANALYZE " + doubleBottomSQL
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := planText(res)
+	if !strings.Contains(text, "plan: compiled") || !strings.Contains(text, "partition: built") {
+		t.Errorf("cold EXPLAIN ANALYZE missing cache lines:\n%s", text)
+	}
+	res, err = db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text = planText(res)
+	if !strings.Contains(text, "plan: cached") || !strings.Contains(text, "partition: cached") {
+		t.Errorf("warm EXPLAIN ANALYZE missing cache-hit lines:\n%s", text)
+	}
+}
+
+func planText(res *Result) string {
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r[0].Str())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestStreamViaDB checks the DB.Stream serving entry point and that it
+// shares the cached plan.
+func TestStreamViaDB(t *testing.T) {
+	db := quoteDB(t)
+	var rows int
+	sql := `SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) WHERE Y.price > X.price`
+	st, err := db.Stream(sql, StreamOptions{}, func(storage.Row) error { rows++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []float64{10, 11, 12, 13} {
+		if err := st.Push(storage.NewString("X"), storage.NewDateDays(int64(30000+i)), storage.NewFloat(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 {
+		t.Errorf("stream rows = %d, want 2", rows)
+	}
+	// Second stream over the same SQL shares the compiled plan (and its
+	// lazily computed stream tables).
+	st2, err := db.Stream(sql, StreamOptions{}, func(storage.Row) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.q.PlanCached() {
+		t.Error("second Stream did not hit the plan cache")
+	}
+	if st.tables != st2.tables {
+		t.Error("streams over one plan did not share shift/next tables")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentServingStress is the PR 4 acceptance stress test: many
+// goroutines issue the same and different SQL against one shared DB —
+// first over a static table (every cached result must be bit-identical
+// to an uncached reference), then while another goroutine Inserts
+// (forcing partition-cache invalidation; queries must never error or
+// serve rows the reference database doesn't explain). Run under -race.
+func TestConcurrentServingStress(t *testing.T) {
+	seed := func() *DB {
+		db := quoteDB(t)
+		insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56, 58, 70, 52)
+		insertSeries(t, db, "IBM", 10000, 81, 80.5, 84, 83, 95, 70, 71)
+		insertSeries(t, db, "ACME", 10000, 10, 12, 9, 9.5, 11.5, 8.8, 9)
+		return db
+	}
+	queries := []string{
+		servingSQL,
+		`SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y) WHERE Y.price > X.price`,
+		`SELECT X.name, FIRST(Y).date FROM quote CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z)
+		 WHERE Y.price < Y.previous.price AND Z.price > 1.1*Z.previous.price`,
+	}
+
+	// Uncached references, one per query, from an identical fresh DB.
+	ref := make([]*Result, len(queries))
+	refDB := seed()
+	refDB.SetPlanCacheCapacity(0)
+	for i, sql := range queries {
+		q, err := refDB.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := q.RunWith(RunOptions{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = r
+	}
+
+	db := seed()
+	const (
+		goroutines = 8
+		iters      = 25
+	)
+
+	// Phase 1: static table. Every concurrent (and mostly cached) result
+	// must be bit-identical to the uncached reference.
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	results := make([][]*Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				res, err := db.Query(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				results[g] = append(results[g], res)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i, res := range results[g] {
+			equalResults(t, fmt.Sprintf("goroutine %d iter %d", g, i), res, ref[(g+i)%len(queries)])
+		}
+	}
+	if cs := db.CacheStats(); cs.PlanHits == 0 || cs.PartitionHits == 0 {
+		t.Errorf("stress ran uncached: %+v", cs)
+	}
+
+	// Phase 2: same traffic while a writer Inserts (one row at a time,
+	// each bumping the table version and invalidating the partition).
+	tbl := db.Table("quote")
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; i < 40; i++ {
+			tbl.MustInsert(
+				storage.NewString("NEWCO"),
+				storage.NewDateDays(int64(20000+i)),
+				storage.NewFloat(50+float64(i%7)),
+			)
+		}
+		close(stop)
+	}()
+	errs = make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Query(queries[(g+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	wg.Wait()
+	writer.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the writer quiesces, the next query must observe every
+	// inserted row: bit-identical to an uncached reference over a fresh
+	// DB holding the same final data.
+	finalRef := seed()
+	ftbl := finalRef.Table("quote")
+	for i := 0; i < 40; i++ {
+		ftbl.MustInsert(
+			storage.NewString("NEWCO"),
+			storage.NewDateDays(int64(20000+i)),
+			storage.NewFloat(50+float64(i%7)),
+		)
+	}
+	finalRef.SetPlanCacheCapacity(0)
+	for i, sql := range queries {
+		q, err := finalRef.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.RunWith(RunOptions{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, fmt.Sprintf("final query %d", i), got, want)
+	}
+}

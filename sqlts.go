@@ -17,7 +17,12 @@
 //
 // Queries compile through the full pipeline: parse → semantic analysis →
 // per-element predicate systems → GSW implication engine → θ/φ matrices →
-// shift/next tables → OPS execution. Prepare exposes the compiled plan
+// shift/next tables → OPS execution. The compiled artifact is an
+// immutable Plan shared by every execution of the same SQL: DB keeps an
+// LRU plan cache keyed by normalized statement text and a partition
+// cache keyed by (table, clusterBy, sequenceBy) validated against the
+// table's data version, so a warm `db.Query` pays neither the compile
+// pipeline nor the cluster sort. Prepare exposes the compiled plan
 // (Explain, executor selection, runtime statistics) for experimentation.
 package sqlts
 
@@ -41,12 +46,24 @@ import (
 )
 
 // DB is an in-memory sequence database: a set of named tables plus
-// per-table metadata (positive-domain column declarations). A DB is safe
-// for concurrent use by multiple goroutines.
+// per-table metadata (positive-domain column declarations) and the
+// serving caches (compiled plans, clustered partitions). A DB is safe
+// for concurrent use by multiple goroutines, including Insert-while-
+// query (queries observe a consistent snapshot of each table).
 type DB struct {
 	mu       sync.RWMutex
 	tables   map[string]*storage.Table
 	positive map[string][]string // table → positive-domain columns
+
+	// catalog is bumped by every schema-affecting change (CREATE TABLE,
+	// RegisterTable, DeclarePositive); cached plans compiled under an
+	// older catalog version are recompiled on next use. Row inserts bump
+	// per-table data versions instead (see storage.Table.Version).
+	catalog atomic.Uint64
+
+	cacheMu sync.Mutex
+	plans   *planCache
+	parts   *partitionCache
 
 	metrics *dbMetrics
 
@@ -60,6 +77,8 @@ func New() *DB {
 	return &DB{
 		tables:   map[string]*storage.Table{},
 		positive: map[string][]string{},
+		plans:    newPlanCache(defaultPlanCacheCapacity),
+		parts:    newPartitionCache(defaultPartitionCacheCapacity),
 		metrics:  newDBMetrics(),
 	}
 }
@@ -111,6 +130,7 @@ func (db *DB) createTable(s *query.CreateTableStmt) error {
 		return err
 	}
 	db.tables[key] = storage.NewTable(s.Name, schema)
+	db.catalog.Add(1)
 	return nil
 }
 
@@ -144,10 +164,13 @@ func (db *DB) insert(s *query.InsertStmt) error {
 }
 
 // RegisterTable adds (or replaces) a table built programmatically.
+// Replacing a table invalidates every cached plan and partition that
+// referenced the old one.
 func (db *DB) RegisterTable(t *storage.Table) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.tables[strings.ToLower(t.Name)] = t
+	db.catalog.Add(1)
 }
 
 // Table returns the named table, or nil.
@@ -183,7 +206,8 @@ func (db *DB) LoadCSV(name string, schema *storage.Schema, r io.Reader) error {
 // DeclarePositive declares that the named numeric columns of a table hold
 // strictly positive values. The declaration enables the §6 ratio
 // transform, which the optimizer needs to reason about percentage
-// conditions such as price < 0.98 * previous.price.
+// conditions such as price < 0.98 * previous.price. Declarations change
+// what the optimizer may conclude, so they invalidate cached plans.
 func (db *DB) DeclarePositive(table string, cols ...string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -202,6 +226,7 @@ func (db *DB) DeclarePositive(table string, cols ...string) error {
 	}
 	key := strings.ToLower(table)
 	db.positive[key] = append(db.positive[key], cols...)
+	db.catalog.Add(1)
 	return nil
 }
 
@@ -247,7 +272,9 @@ type RunOptions struct {
 	// instead of the paper's default left-maximal semantics.
 	Overlap bool
 	// Trace records the (i, j) search path (Figure 5); retrieve it with
-	// Query.LastPath. Trace forces serial execution.
+	// Query.LastPath. Trace forces serial execution and is the one run
+	// mode that is not safe to use from multiple goroutines on a shared
+	// Query (the path buffer is per-Query).
 	Trace bool
 	// Parallel searches clusters concurrently (one goroutine per cluster,
 	// bounded by GOMAXPROCS). Results are identical to serial execution,
@@ -258,6 +285,12 @@ type RunOptions struct {
 	// experiments and differential testing; results and statistics are
 	// identical either way.
 	NoKernel bool
+	// NoCache bypasses the partition cache for this run: the cluster
+	// sort always re-runs and the result is not stored. (Plan caching
+	// happens at Prepare time; disable it with SetPlanCacheCapacity(0).)
+	// For cold-vs-warm measurement and differential tests; results are
+	// identical either way.
+	NoCache bool
 }
 
 // Result is the outcome of a query execution.
@@ -270,8 +303,18 @@ type Result struct {
 	// Matches holds the raw match intervals per cluster, for tooling.
 	Matches []ClusterMatches
 
-	clusterStats []ClusterStat
+	clusterStats    []ClusterStat
+	planCached      bool
+	partitionCached bool
 }
+
+// PlanCached reports whether the execution served a plan from the plan
+// cache (no parse/analyze/optimize work was done for it).
+func (r *Result) PlanCached() bool { return r.planCached }
+
+// PartitionCached reports whether the execution reused a cached cluster
+// partition (no re-sort of the table).
+func (r *Result) PartitionCached() bool { return r.partitionCached }
 
 // ClusterMatches are the matches found within one cluster.
 type ClusterMatches struct {
@@ -306,23 +349,75 @@ const (
 	explainAnalyze             // EXPLAIN ANALYZE: execute and annotate
 )
 
-// Query is a prepared SQL-TS SELECT: parsed, analyzed, and optimized.
-type Query struct {
-	db       *DB
+// Plan is the immutable compiled form of one SQL-TS statement: the
+// analyzed select, the pattern with its predicate systems, the θ/φ
+// matrices distilled into shift/next tables, and the compiled predicate
+// kernel. Every field is read-only after compilation, so one Plan is
+// shared by all goroutines executing the same SQL concurrently; all
+// per-run mutable state lives in Query and in per-run executors.
+type Plan struct {
+	sql      string
 	compiled *query.Compiled
 	tables   *core.Tables
 	kernel   *pattern.Kernel
-	lastPath []engine.PathPoint
+	explain  explainMode
 
-	sql     string
-	trace   *obs.Trace
-	explain explainMode
+	// catalogVersion is the DB catalog version the plan was compiled
+	// under; the plan cache revalidates it on every hit.
+	catalogVersion uint64
+	// compileSpans are the finished compile-phase trace spans, replayed
+	// into the trace of every query the plan serves from cache.
+	compileSpans []*obs.Span
+
+	// streamTables are the continuous-query shift/next tables, computed
+	// on first OpenStream and shared by all streams over this plan.
+	streamOnce   sync.Once
+	streamTables *core.Tables
+}
+
+// SQL returns the statement text the plan was compiled from.
+func (p *Plan) SQL() string { return p.sql }
+
+// streamTabs lazily computes the stream shift/next tables once per plan.
+func (p *Plan) streamTabs() *core.Tables {
+	p.streamOnce.Do(func() {
+		p.streamTables = core.ComputeForStream(p.compiled.Pattern)
+	})
+	return p.streamTables
+}
+
+// Query is a prepared SQL-TS statement: an immutable shared Plan plus
+// this handle's per-run state (lifecycle trace, search-path buffer).
+// A Query is safe for concurrent RunWith calls except with
+// RunOptions.Trace set.
+type Query struct {
+	db         *DB
+	plan       *Plan
+	trace      *obs.Trace
+	planCached bool
+
+	pathMu   sync.Mutex
+	lastPath []engine.PathPoint
 }
 
 // Prepare parses, analyzes and optimizes a SELECT or EXPLAIN [ANALYZE]
-// SELECT statement.
+// SELECT statement. Repeated Prepares of the same (whitespace-
+// normalized) text are served from the DB's plan cache and skip the
+// entire compile pipeline; the cache revalidates against the catalog
+// version, so DDL and DeclarePositive force recompilation.
 func (db *DB) Prepare(sql string) (*Query, error) {
+	key := normalizeSQL(sql)
+	if p := db.lookupPlan(key); p != nil {
+		tr := obs.NewTrace()
+		tr.Start("plan-cache").Annotate("hit", true).End()
+		tr.Add(p.compileSpans...)
+		return &Query{db: db, plan: p, trace: tr, planCached: true}, nil
+	}
+	// Read the catalog version before compiling: if DDL lands mid-
+	// compile the plan is stamped stale and recompiled on next lookup.
+	catalog := db.catalog.Load()
 	tr := obs.NewTrace()
+	tr.Start("plan-cache").Annotate("hit", false).End()
 	sp := tr.Start("parse")
 	st, err := query.Parse(sql)
 	sp.End()
@@ -342,17 +437,34 @@ func (db *DB) Prepare(sql string) (*Query, error) {
 			mode = explainAnalyze
 		}
 	}
-	q, err := db.prepareSelect(sel, sql, tr)
+	plan, err := db.compilePlan(sel, sql, tr)
 	if err != nil {
 		return nil, err
 	}
-	q.explain = mode
-	return q, nil
+	plan.explain = mode
+	plan.catalogVersion = catalog
+	plan.compileSpans = compileSpansOf(tr)
+	db.storePlan(key, plan)
+	return &Query{db: db, plan: plan, trace: tr}, nil
 }
 
-// prepareSelect runs semantic analysis and the OPS compile-time
+// compileSpansOf snapshots the compile-phase spans of a fresh compile,
+// dropping the plan-cache lookup span (each served query records its
+// own).
+func compileSpansOf(tr *obs.Trace) []*obs.Span {
+	spans := tr.Spans()
+	keep := spans[:0:0]
+	for _, sp := range spans {
+		if sp.Name != "plan-cache" {
+			keep = append(keep, sp)
+		}
+	}
+	return keep
+}
+
+// compilePlan runs semantic analysis and the OPS compile-time
 // pipeline, recording one trace span per phase.
-func (db *DB) prepareSelect(sel *query.SelectStmt, sql string, tr *obs.Trace) (*Query, error) {
+func (db *DB) compilePlan(sel *query.SelectStmt, sql string, tr *obs.Trace) (*Plan, error) {
 	db.mu.RLock()
 	t := db.tables[strings.ToLower(sel.Table)]
 	positive := append([]string(nil), db.positive[strings.ToLower(sel.Table)]...)
@@ -379,7 +491,7 @@ func (db *DB) prepareSelect(sel *query.SelectStmt, sql string, tr *obs.Trace) (*
 		sp.Annotate("elements", p.Len()).Annotate("predicates", atoms)
 	}
 	sp.End()
-	q := &Query{db: db, compiled: compiled, sql: sql, trace: tr}
+	plan := &Plan{sql: sql, compiled: compiled}
 	if p := compiled.Pattern; p != nil {
 		q0 := constraint.Queries()
 		sp = tr.Start("matrices")
@@ -388,28 +500,34 @@ func (db *DB) prepareSelect(sel *query.SelectStmt, sql string, tr *obs.Trace) (*
 			Annotate("implication-checks", constraint.Queries()-q0).
 			End()
 		sp = tr.Start("shift/next")
-		q.tables = core.TablesFrom(p, m)
-		sp.Annotate("avg-shift", fmt.Sprintf("%.2f", q.tables.AvgShift())).
-			Annotate("avg-next", fmt.Sprintf("%.2f", q.tables.AvgNext())).
+		plan.tables = core.TablesFrom(p, m)
+		sp.Annotate("avg-shift", fmt.Sprintf("%.2f", plan.tables.AvgShift())).
+			Annotate("avg-next", fmt.Sprintf("%.2f", plan.tables.AvgNext())).
 			End()
 		sp = tr.Start("kernel")
-		q.kernel = p.CompileKernel()
-		sp.Annotate("compiled-elements", q.kernel.CompiledElems()).
-			Annotate("fallback-elements", q.kernel.FallbackElems()).
+		plan.kernel = p.CompileKernel()
+		sp.Annotate("compiled-elements", plan.kernel.CompiledElems()).
+			Annotate("fallback-elements", plan.kernel.FallbackElems()).
 			End()
-		db.metrics.kernelCompiled.Add(int64(q.kernel.CompiledElems()))
-		db.metrics.kernelFallback.Add(int64(q.kernel.FallbackElems()))
+		db.metrics.kernelCompiled.Add(int64(plan.kernel.CompiledElems()))
+		db.metrics.kernelFallback.Add(int64(plan.kernel.FallbackElems()))
 	}
-	return q, nil
+	return plan, nil
 }
 
 // Trace returns the query's lifecycle trace: compile-phase spans
-// recorded by Prepare plus one "execute" span per Run.
+// (replayed from the shared plan when it was served from cache, plus a
+// plan-cache lookup span) and one "execute" span per Run.
 func (q *Query) Trace() *obs.Trace { return q.trace }
+
+// PlanCached reports whether this Query was served a cached plan.
+func (q *Query) PlanCached() bool { return q.planCached }
 
 // Query prepares and runs a SELECT with default options. EXPLAIN
 // [ANALYZE] statements are also accepted and return the rendered plan
-// as a one-column result.
+// as a one-column result. Repeated calls with the same statement text
+// hit the plan cache (and, over an unchanged table, the partition
+// cache), which makes this the intended hot serving entry point.
 func (db *DB) Query(sql string) (*Result, error) {
 	q, err := db.Prepare(sql)
 	if err != nil {
@@ -420,26 +538,27 @@ func (db *DB) Query(sql string) (*Result, error) {
 }
 
 // Pattern exposes the compiled pattern (nil for plain SELECTs).
-func (q *Query) Pattern() *pattern.Pattern { return q.compiled.Pattern }
+func (q *Query) Pattern() *pattern.Pattern { return q.plan.compiled.Pattern }
 
 // Tables exposes the optimizer tables (nil for plain SELECTs).
-func (q *Query) Tables() *core.Tables { return q.tables }
+func (q *Query) Tables() *core.Tables { return q.plan.tables }
 
 // Explain renders the compiled plan: the pattern, its predicate systems,
 // and the optimizer matrices and arrays.
 func (q *Query) Explain() string {
 	var b strings.Builder
-	if q.compiled.Pattern == nil {
+	if q.plan.compiled.Pattern == nil {
 		b.WriteString("plain relational scan (no sequence pattern)\n")
 		return b.String()
 	}
-	p := q.compiled.Pattern
-	fmt.Fprintf(&b, "pattern %s over %s\n", p, q.compiled.Table)
-	if len(q.compiled.ClusterBy) > 0 {
-		fmt.Fprintf(&b, "cluster by %s\n", strings.Join(q.compiled.ClusterBy, ", "))
+	p := q.plan.compiled.Pattern
+	kernel := q.plan.kernel
+	fmt.Fprintf(&b, "pattern %s over %s\n", p, q.plan.compiled.Table)
+	if len(q.plan.compiled.ClusterBy) > 0 {
+		fmt.Fprintf(&b, "cluster by %s\n", strings.Join(q.plan.compiled.ClusterBy, ", "))
 	}
-	if len(q.compiled.SequenceBy) > 0 {
-		fmt.Fprintf(&b, "sequence by %s\n", strings.Join(q.compiled.SequenceBy, ", "))
+	if len(q.plan.compiled.SequenceBy) > 0 {
+		fmt.Fprintf(&b, "sequence by %s\n", strings.Join(q.plan.compiled.SequenceBy, ", "))
 	}
 	for i, e := range p.Elems {
 		star := " "
@@ -450,21 +569,21 @@ func (q *Query) Explain() string {
 		for _, cc := range e.CrossConds {
 			fmt.Fprintf(&b, " AND [cross] %s", cc.Key)
 		}
-		if q.kernel != nil && !q.kernel.ElemCompiled(i) {
+		if kernel != nil && !kernel.ElemCompiled(i) {
 			b.WriteString("  [kernel: interpreter fallback]")
 		}
 		b.WriteByte('\n')
 	}
-	if q.kernel != nil {
+	if kernel != nil {
 		fmt.Fprintf(&b, "kernel: %d/%d elements compiled to columnar chains",
-			q.kernel.CompiledElems(), p.Len())
-		if n := q.kernel.FallbackElems(); n > 0 {
+			kernel.CompiledElems(), p.Len())
+		if n := kernel.FallbackElems(); n > 0 {
 			fmt.Fprintf(&b, " (%d interpreter fallback)", n)
 		}
 		b.WriteByte('\n')
 	}
 	b.WriteByte('\n')
-	b.WriteString(q.tables.Explain())
+	b.WriteString(q.plan.tables.Explain())
 	return b.String()
 }
 
@@ -473,7 +592,7 @@ func (q *Query) Explain() string {
 // shift-determining paths highlighted. It returns "" for plain SELECTs
 // or out-of-range j.
 func (q *Query) ExplainGraph(j int) string {
-	p := q.compiled.Pattern
+	p := q.plan.compiled.Pattern
 	if p == nil || j < 2 || j > p.Len() {
 		return ""
 	}
@@ -485,22 +604,30 @@ func (q *Query) Run() (*Result, error) { return q.RunWith(RunOptions{}) }
 
 // LastPath returns the search path recorded by the last RunWith call that
 // set Trace (concatenated across clusters).
-func (q *Query) LastPath() []engine.PathPoint { return q.lastPath }
+func (q *Query) LastPath() []engine.PathPoint {
+	q.pathMu.Lock()
+	defer q.pathMu.Unlock()
+	return q.lastPath
+}
 
 // RunWith executes the query with explicit options. For a prepared
 // EXPLAIN the result is the rendered plan (one "QUERY PLAN" text
 // column); EXPLAIN ANALYZE additionally executes the query and
 // annotates the plan with measured per-phase timings and counters.
 func (q *Query) RunWith(opts RunOptions) (*Result, error) {
-	switch q.explain {
+	switch q.plan.explain {
 	case explainPlan:
-		return planResult(q.Explain(), engine.Stats{}), nil
+		res := planResult(q.Explain(), engine.Stats{})
+		res.planCached = q.planCached
+		return res, nil
 	case explainAnalyze:
 		text, stats, err := q.explainAnalyzeText(opts)
 		if err != nil {
 			return nil, err
 		}
-		return planResult(text, stats), nil
+		res := planResult(text, stats)
+		res.planCached = q.planCached
+		return res, nil
 	}
 	return q.runMeasured(opts)
 }
@@ -515,35 +642,48 @@ func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
 		q.db.metrics.queryErrors.Inc()
 		return nil, err
 	}
+	res.planCached = q.planCached
 	sp.Annotate("executor", opts.Executor.String()).
 		Annotate("clusters", len(res.clusterStats)).
 		Annotate("rows-scanned", scanned).
 		Annotate("rows", len(res.Rows)).
+		Annotate("plan", cachedWord(q.planCached)).
+		Annotate("partition", cachedWord(res.partitionCached)).
 		Annotate("stats", res.Stats.String()).
 		End()
 	q.db.observeRun(q, opts, res, scanned, sp.Duration)
 	return res, nil
 }
 
+// cachedWord renders a cache outcome for spans and EXPLAIN ANALYZE.
+func cachedWord(hit bool) string {
+	if hit {
+		return "cached"
+	}
+	return "built"
+}
+
 // execute is the raw execution path: no tracing, no metrics. EXPLAIN
 // ANALYZE uses it directly for the naive-comparison run so diagnostics
 // don't inflate the serving counters.
 func (q *Query) execute(opts RunOptions) (*Result, int, error) {
-	t := q.db.Table(q.compiled.Table)
+	compiled := q.plan.compiled
+	t := q.db.Table(compiled.Table)
 	if t == nil {
-		return nil, 0, fmt.Errorf("sqlts: table %q disappeared", q.compiled.Table)
+		return nil, 0, fmt.Errorf("sqlts: table %q disappeared", compiled.Table)
 	}
 	res := &Result{
-		Columns: append([]string(nil), q.compiled.OutNames...),
-		Types:   append([]storage.Type(nil), q.compiled.OutTypes...),
+		Columns: append([]string(nil), compiled.OutNames...),
+		Types:   append([]storage.Type(nil), compiled.OutTypes...),
 	}
-	if q.compiled.AlwaysEmpty() {
+	if compiled.AlwaysEmpty() {
 		return res, 0, nil
 	}
 
-	if q.compiled.Pattern == nil {
-		for _, row := range t.Rows {
-			out, ok, err := q.compiled.EvalPlainRow(row)
+	if compiled.Pattern == nil {
+		rows, _ := t.Snapshot()
+		for _, row := range rows {
+			out, ok, err := compiled.EvalPlainRow(row)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -551,39 +691,53 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 				res.Rows = append(res.Rows, out)
 			}
 		}
-		return res, len(t.Rows), nil
+		return res, len(rows), nil
 	}
 
-	clusters, err := t.Cluster(q.compiled.ClusterBy, q.compiled.SequenceBy)
+	part, cached, err := q.db.partition(t, compiled.ClusterBy, compiled.SequenceBy, opts.NoCache)
 	if err != nil {
 		return nil, 0, err
 	}
-	scanned := 0
-	for _, seq := range clusters {
-		scanned += len(seq)
+	clusters, scanned := part.clusters, part.rows
+	res.partitionCached = cached
+	// Reuse the partition's memoized columnar projections (built on the
+	// first execution of this plan over it): warm runs skip the per-run
+	// O(rows) decode along with the sort.
+	var projs []*storage.Projection
+	if !opts.NoKernel {
+		projs = part.projections(q.plan.kernel)
 	}
 	policy := engine.SkipPastLastRow
 	if opts.Overlap {
 		policy = engine.SkipToNextRow
 	}
-	q.lastPath = nil
+	if opts.Trace {
+		q.pathMu.Lock()
+		q.lastPath = nil
+		q.pathMu.Unlock()
+	}
 	if opts.Parallel && !opts.Trace && len(clusters) > 1 {
-		out, err := q.runParallel(res, clusters, opts, policy)
+		out, err := q.runParallel(res, clusters, projs, opts, policy)
 		return out, scanned, err
 	}
 	ex := q.newExecutor(opts, policy)
 	for ci, seq := range clusters {
+		if projs != nil {
+			ex.UseProjection(projs[ci])
+		}
 		ms, stats := ex.FindAll(seq)
 		res.Stats.Add(stats)
 		res.clusterStats = append(res.clusterStats, ClusterStat{Cluster: ci, Rows: len(seq), Stats: stats})
 		if opts.Trace {
+			q.pathMu.Lock()
 			q.lastPath = append(q.lastPath, pathOf(ex)...)
+			q.pathMu.Unlock()
 		}
 		if len(ms) > 0 {
 			res.Matches = append(res.Matches, ClusterMatches{Cluster: ci, Matches: ms})
 		}
 		for _, m := range ms {
-			row, err := q.compiled.EvalSelect(seq, m.Spans)
+			row, err := compiled.EvalSelect(seq, m.Spans)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -596,13 +750,14 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 // runParallel searches clusters concurrently. Each worker gets its own
 // executor (executors carry per-search state); per-cluster results are
 // stitched back in cluster order so output is identical to serial runs.
-func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
+func (q *Query) runParallel(res *Result, clusters [][]storage.Row, projs []*storage.Projection, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
 	type clusterOut struct {
 		matches []engine.Match
 		rows    []storage.Row
 		stats   engine.Stats
 		err     error
 	}
+	compiled := q.plan.compiled
 	outs := make([]clusterOut, len(clusters))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(clusters) {
@@ -623,10 +778,13 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 					continue
 				}
 				seq := clusters[ci]
+				if projs != nil {
+					ex.UseProjection(projs[ci])
+				}
 				ms, stats := ex.FindAll(seq)
 				out := clusterOut{matches: ms, stats: stats}
 				for _, m := range ms {
-					row, err := q.compiled.EvalSelect(seq, m.Spans)
+					row, err := compiled.EvalSelect(seq, m.Spans)
 					if err != nil {
 						out.err = err
 						failed.Store(true)
@@ -662,8 +820,8 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, opts RunOptio
 }
 
 func (q *Query) newExecutor(opts RunOptions, policy engine.SkipPolicy) engine.Executor {
-	p := q.compiled.Pattern
-	kern := q.kernel
+	p := q.plan.compiled.Pattern
+	kern := q.plan.kernel
 	if opts.NoKernel {
 		kern = nil
 	}
@@ -676,22 +834,22 @@ func (q *Query) newExecutor(opts RunOptions, policy engine.SkipPolicy) engine.Ex
 		}
 		return n
 	case OPSShiftOnlyExec:
-		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, ShiftOnly: true})
+		o := engine.NewOPS(p, q.plan.tables, engine.OPSConfig{Policy: policy, ShiftOnly: true})
 		o.UseKernel(kern)
 		return o
 	case OPSNoCountersExec:
-		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, NoCounters: true})
+		o := engine.NewOPS(p, q.plan.tables, engine.OPSConfig{Policy: policy, NoCounters: true})
 		o.UseKernel(kern)
 		return o
 	case OPSSkipExec:
-		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy, LastRowSkip: true})
+		o := engine.NewOPS(p, q.plan.tables, engine.OPSConfig{Policy: policy, LastRowSkip: true})
 		o.UseKernel(kern)
 		if opts.Trace {
 			o.Trace()
 		}
 		return o
 	default:
-		o := engine.NewOPS(p, q.tables, engine.OPSConfig{Policy: policy})
+		o := engine.NewOPS(p, q.plan.tables, engine.OPSConfig{Policy: policy})
 		o.UseKernel(kern)
 		if opts.Trace {
 			o.Trace()

@@ -59,26 +59,43 @@ type clusterStream struct {
 // The row passed to the sink is only valid for the duration of the call
 // — it is recycled for the next match; sinks that retain it must copy
 // (storage.Row.Clone).
+//
+// The stream shift/next tables are computed once per plan and shared by
+// every stream (and every per-cluster matcher) over it, so repeated
+// OpenStream calls on a cached plan skip that work too.
 func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*Stream, error) {
-	if q.compiled.Pattern == nil {
+	compiled := q.plan.compiled
+	if compiled.Pattern == nil {
 		return nil, fmt.Errorf("sqlts: OpenStream requires a sequence pattern query")
 	}
 	st := &Stream{
 		q:        q,
 		opts:     opts,
 		sink:     sink,
-		tables:   core.ComputeForStream(q.compiled.Pattern),
+		tables:   q.plan.streamTabs(),
 		clusters: map[string]*clusterStream{},
 	}
-	for _, col := range q.compiled.SequenceBy {
-		i, _ := q.compiled.Schema.ColumnIndex(col)
+	for _, col := range compiled.SequenceBy {
+		i, _ := compiled.Schema.ColumnIndex(col)
 		st.seqIdx = append(st.seqIdx, i)
 	}
-	for _, col := range q.compiled.ClusterBy {
-		i, _ := q.compiled.Schema.ColumnIndex(col)
+	for _, col := range compiled.ClusterBy {
+		i, _ := compiled.Schema.ColumnIndex(col)
 		st.cluIdx = append(st.cluIdx, i)
 	}
 	return st, nil
+}
+
+// Stream prepares sql (through the plan cache) and opens a continuous
+// execution of it — the push-based analogue of DB.Query. Repeated
+// Stream calls with the same statement text share one compiled plan.
+func (db *DB) Stream(sql string, opts StreamOptions, sink func(storage.Row) error) (*Stream, error) {
+	q, err := db.Prepare(sql)
+	if err != nil {
+		db.metrics.queryErrors.Inc()
+		return nil, err
+	}
+	return q.OpenStream(opts, sink)
 }
 
 // Push delivers one tuple (in table column order). It returns the first
@@ -90,7 +107,7 @@ func (st *Stream) Push(vals ...storage.Value) error {
 	if st.sinkErr != nil {
 		return st.sinkErr
 	}
-	schema := st.q.compiled.Schema
+	schema := st.q.plan.compiled.Schema
 	if len(vals) != schema.Len() {
 		return fmt.Errorf("sqlts: Push arity %d, want %d", len(vals), schema.Len())
 	}
@@ -144,7 +161,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 	if st.opts.Overlap {
 		policy = engine.SkipToNextRow
 	}
-	cs.s = engine.NewStreamer(st.q.compiled.Pattern, engine.StreamConfig{
+	cs.s = engine.NewStreamer(st.q.plan.compiled.Pattern, engine.StreamConfig{
 		Policy:      policy,
 		LastRowSkip: st.opts.LastRowSkip,
 		MaxBuffer:   st.opts.MaxBuffer,
@@ -172,7 +189,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 				spans[k] = pattern.Span{Start: sp.Start - base, End: sp.End - base, Set: true}
 			}
 		}
-		row, err := st.q.compiled.EvalSelectInto(cs.rowScratch, window, spans)
+		row, err := st.q.plan.compiled.EvalSelectInto(cs.rowScratch, window, spans)
 		if err != nil {
 			st.sinkErr = err
 			return
@@ -183,7 +200,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 		}
 	})
 	if !st.opts.NoKernel {
-		cs.s.UseKernel(st.q.kernel)
+		cs.s.UseKernel(st.q.plan.kernel)
 	}
 	return cs
 }
