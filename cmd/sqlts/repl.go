@@ -19,7 +19,11 @@ import (
 //	\tables       list tables
 //	\explain      toggle plan printing
 //	\exec NAME    switch executor (ops, naive, ops+skip, ...)
-//	\stats        toggle statistics printing (per-query counters)
+//	\counters     toggle the per-query counter line after each SELECT
+//	\stats        print the per-statement statistics table (calls,
+//	              latency quantiles, pred-evals, cache hit rates)
+//	\slowlog [full]  print the retained slow-query log (full: with each
+//	              record's annotated plan report)
 //	\timing [on|off]  toggle wall-clock timing of each statement
 //	              (cache hits are noted on the timing line)
 //	\cache        plan/partition cache sizes, hit rates, table versions
@@ -58,9 +62,18 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 			case trimmed == `\explain`:
 				explain = !explain
 				fmt.Fprintf(out, "explain: %v\n", explain)
-			case trimmed == `\stats`:
+			case trimmed == `\counters`:
 				stats = !stats
-				fmt.Fprintf(out, "stats: %v\n", onOff(stats))
+				fmt.Fprintf(out, "counters: %v\n", onOff(stats))
+			case trimmed == `\stats`:
+				if err := db.WriteStatementStats(out); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
+			case trimmed == `\slowlog` || strings.HasPrefix(trimmed, `\slowlog `):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\slowlog`))
+				if err := db.WriteSlowLog(out, arg == "full"); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
 			case trimmed == `\timing` || strings.HasPrefix(trimmed, `\timing `):
 				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\timing`))
 				switch arg {

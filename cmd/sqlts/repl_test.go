@@ -13,7 +13,7 @@ func TestREPLSession(t *testing.T) {
 CREATE TABLE q (d DATE, p REAL);
 INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
 \tables
-\stats
+\counters
 \exec naive
 SELECT A.p FROM q
 SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
@@ -29,7 +29,7 @@ SELECT nosuch FROM q;
 	got := out.String()
 	for _, want := range []string{
 		"q (d DATE, p REAL) (3 rows)", // \tables
-		"stats: on",
+		"counters: on",
 		"executor: naive",
 		"(1 rows)",
 		"pred-evals=",             // stats line
@@ -53,10 +53,12 @@ func TestREPLTimingStatsExplain(t *testing.T) {
 CREATE TABLE q (d DATE, p REAL);
 INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
 \timing on
-\stats
+\counters
 SELECT A.p FROM q
 SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
 EXPLAIN ANALYZE SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\stats
+\slowlog
 \timing off
 \timing
 \timing bogus
@@ -71,8 +73,11 @@ EXPLAIN ANALYZE SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
 	for _, want := range []string{
 		"timing: on",
 		"timing: off",
-		"Time: ",                  // \timing on applied to the SELECT
-		"pred-evals=",             // \stats line
+		"Time: ",      // \timing on applied to the SELECT
+		"pred-evals=", // \counters line
+		"statement",   // \stats table header
+		"select a.p from q sequence by d as (a, b) where (b.p > a.p)", // \stats row (normalized key)
+		"slow-query log empty",    // \slowlog with no threshold set
 		"QUERY PLAN",              // EXPLAIN ANALYZE passthrough
 		"Naive comparison:",       // analyze comparison section
 		"execute",                 // execution phase span

@@ -1,0 +1,178 @@
+package sqlts
+
+// The /debug HTTP surface: one mux per DB bundling the Prometheus
+// exposition, the statement-stats table, the slow-query log, retained
+// trace export (text and Chrome trace-event JSON), and net/http/pprof.
+// Mount it on any server:
+//
+//	go http.ListenAndServe("localhost:6060", db.DebugHandler())
+//
+// A background runtime sampler (goroutines, heap, GC pauses) feeds the
+// same registry; /metrics scrapes also sample on demand so the gauges
+// are fresh even without the background goroutine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlts/internal/obs"
+)
+
+// SampleRuntime reads the Go runtime's memory and scheduler statistics
+// into the registry's sqlts_goroutines / sqlts_heap_* / sqlts_gc_*
+// gauges. It is called automatically by the background sampler and on
+// every /metrics scrape of the debug mux; call it directly before
+// WriteMetrics for fresh gauges elsewhere.
+func (db *DB) SampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m := db.metrics
+	m.goroutines.Set(int64(runtime.NumGoroutine()))
+	m.heapAlloc.Set(int64(ms.HeapAlloc))
+	m.heapObjects.Set(int64(ms.HeapObjects))
+	m.gcCycles.Set(int64(ms.NumGC))
+	m.gcPauseTotal.Set(int64(ms.PauseTotalNs))
+}
+
+// StartRuntimeSampler samples the runtime gauges every interval until
+// the returned stop function is called. Stop is idempotent.
+func (db *DB) StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	db.SampleRuntime()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				db.SampleRuntime()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// DebugHandler returns an http.Handler exposing the DB's introspection
+// surface:
+//
+//	/metrics               Prometheus exposition (runtime gauges sampled per scrape)
+//	/debug/statements      per-statement stats — JSON, ?format=text for the table
+//	/debug/slowlog         retained slow-query log — JSON, ?format=text[&verbose=1]
+//	/debug/trace/          retained-trace index (JSON)
+//	/debug/trace/<id>      one trace — Chrome trace-event JSON, ?format=text for the phase table
+//	/debug/pprof/*         net/http/pprof (profile, heap, goroutine, ...)
+//
+// The mux holds live references into the DB; serve it on an
+// operator-only listener.
+func (db *DB) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		db.SampleRuntime()
+		db.MetricsHandler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/debug/statements", db.serveStatements)
+	mux.HandleFunc("/debug/slowlog", db.serveSlowLog)
+	mux.HandleFunc("/debug/trace/", db.serveTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, `sqlts debug surface
+  /metrics                 Prometheus exposition
+  /debug/statements        per-statement stats (JSON; ?format=text)
+  /debug/slowlog           slow-query log (JSON; ?format=text&verbose=1)
+  /debug/trace/            retained traces (index; /debug/trace/<id> for export)
+  /debug/pprof/            Go profiling endpoints
+`)
+	})
+	return mux
+}
+
+func (db *DB) serveStatements(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		db.WriteStatementStats(w)
+		return
+	}
+	writeJSON(w, struct {
+		Statements []obs.StmtSnapshot `json:"statements"`
+	}{db.StatementStats()})
+}
+
+func (db *DB) serveSlowLog(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		db.WriteSlowLog(w, r.URL.Query().Get("verbose") != "")
+		return
+	}
+	writeJSON(w, struct {
+		SlowQueries []SlowQueryRecord `json:"slow_queries"`
+	}{db.SlowLog()})
+}
+
+// traceIndexEntry is the JSON shape of one /debug/trace/ index row.
+type traceIndexEntry struct {
+	ID    uint64    `json:"id"`
+	SQL   string    `json:"sql"`
+	Time  time.Time `json:"time"`
+	Slow  bool      `json:"slow,omitempty"`
+	Spans int       `json:"spans"`
+}
+
+func (db *DB) serveTrace(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if rest == "" {
+		out := []traceIndexEntry{}
+		for _, t := range db.RetainedTraces() {
+			out = append(out, traceIndexEntry{ID: t.ID, SQL: t.SQL, Time: t.Time, Slow: t.Slow, Spans: len(t.Spans)})
+		}
+		writeJSON(w, struct {
+			Traces []traceIndexEntry `json:"traces"`
+		}{out})
+		return
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		http.Error(w, "trace id must be an integer", http.StatusBadRequest)
+		return
+	}
+	t := db.TraceByID(id)
+	if t == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %d  %s\n%s\n", t.ID, t.SQL, obs.FormatSpans(t.Spans))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	obs.WriteChromeTrace(w, t.Spans)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

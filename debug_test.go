@@ -1,0 +1,193 @@
+package sqlts
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugHandlerSmoke drives every endpoint of the /debug surface
+// against a DB with live traffic: the CI debug-surface smoke step runs
+// exactly this test.
+func TestDebugHandlerSmoke(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 40, 80, 92, 70)
+	db.SetSlowQueryThreshold(time.Nanosecond, nil)
+	db.SetTraceSampleRate(1)
+	if _, err := db.Query(introspectSQL1); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Index page lists the surface.
+	code, body := get("/")
+	if code != http.StatusOK || !strings.Contains(body, "/debug/statements") {
+		t.Errorf("index: code %d body:\n%s", code, body)
+	}
+
+	// /metrics: exposition plus on-demand runtime sampling.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	for _, want := range []string{
+		"sqlts_queries_total 1",
+		"sqlts_pred_evals_total",
+		"sqlts_goroutines", // runtime gauge sampled per scrape
+		"sqlts_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/statements JSON mirrors the Result counters.
+	code, body = get("/debug/statements")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/statements returned %d", code)
+	}
+	var stmts struct {
+		Statements []struct {
+			SQL       string `json:"sql"`
+			Calls     int64  `json:"calls"`
+			PredEvals int64  `json:"pred_evals"`
+		} `json:"statements"`
+	}
+	if err := json.Unmarshal([]byte(body), &stmts); err != nil {
+		t.Fatalf("/debug/statements is not valid JSON: %v\n%s", err, body)
+	}
+	if len(stmts.Statements) != 1 || stmts.Statements[0].Calls != 1 {
+		t.Fatalf("/debug/statements content wrong:\n%s", body)
+	}
+	if got, want := stmts.Statements[0].PredEvals, db.statementTotals().PredEvals; got != want {
+		t.Errorf("/debug/statements pred_evals = %d, store says %d", got, want)
+	}
+	code, body = get("/debug/statements?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "statement") {
+		t.Errorf("/debug/statements?format=text: code %d body:\n%s", code, body)
+	}
+
+	// /debug/slowlog holds the over-threshold run.
+	code, body = get("/debug/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slowlog returned %d", code)
+	}
+	var slow struct {
+		SlowQueries []struct {
+			ID      uint64 `json:"id"`
+			TraceID uint64 `json:"trace_id"`
+			Report  string `json:"report"`
+		} `json:"slow_queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatalf("/debug/slowlog is not valid JSON: %v\n%s", err, body)
+	}
+	if len(slow.SlowQueries) != 1 || slow.SlowQueries[0].TraceID == 0 {
+		t.Fatalf("/debug/slowlog content wrong:\n%s", body)
+	}
+	code, body = get("/debug/slowlog?format=text&verbose=1")
+	if code != http.StatusOK || !strings.Contains(body, "Phases:") {
+		t.Errorf("/debug/slowlog?format=text&verbose=1: code %d body:\n%s", code, body)
+	}
+
+	// /debug/trace/: index, Chrome export, text export, and errors.
+	code, body = get("/debug/trace/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace/ returned %d", code)
+	}
+	var idx struct {
+		Traces []struct {
+			ID    uint64 `json:"id"`
+			Spans int    `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("/debug/trace/ is not valid JSON: %v\n%s", err, body)
+	}
+	if len(idx.Traces) == 0 || idx.Traces[0].Spans == 0 {
+		t.Fatalf("/debug/trace/ index wrong:\n%s", body)
+	}
+	id := idx.Traces[0].ID
+	code, body = get(fmt.Sprintf("/debug/trace/%d", id))
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace/%d returned %d", id, code)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("trace export is not valid Chrome trace JSON: %v\n%s", err, body)
+	}
+	if len(events) == 0 || events[0].Ph != "X" {
+		t.Errorf("trace export events wrong:\n%s", body)
+	}
+	code, body = get(fmt.Sprintf("/debug/trace/%d?format=text", id))
+	if code != http.StatusOK || !strings.Contains(body, "execute") {
+		t.Errorf("trace text export: code %d body:\n%s", code, body)
+	}
+	if code, _ = get("/debug/trace/999999"); code != http.StatusNotFound {
+		t.Errorf("unknown trace id returned %d, want 404", code)
+	}
+	if code, _ = get("/debug/trace/notanumber"); code != http.StatusBadRequest {
+		t.Errorf("bad trace id returned %d, want 400", code)
+	}
+
+	// /debug/pprof/ index and a cheap profile.
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+	if code, _ = get("/debug/pprof/goroutine?debug=1"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/goroutine returned %d", code)
+	}
+
+	// Unknown paths 404.
+	if code, _ = get("/nosuch"); code != http.StatusNotFound {
+		t.Errorf("unknown path returned %d, want 404", code)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	db := New()
+	stop := db.StartRuntimeSampler(time.Millisecond)
+	defer stop()
+	time.Sleep(5 * time.Millisecond)
+	var b strings.Builder
+	if err := db.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"sqlts_goroutines", "sqlts_heap_alloc_bytes", "sqlts_gc_cycles_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The gauges hold real (non-zero) runtime values.
+	if strings.Contains(out, "sqlts_goroutines 0\n") {
+		t.Error("goroutine gauge still zero after sampling")
+	}
+	stop()
+	stop() // idempotent
+}

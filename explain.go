@@ -36,12 +36,12 @@ func (q *Query) ExplainAnalyze(opts RunOptions) (string, error) {
 	return text, err
 }
 
-func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error) {
-	res, err := q.runMeasured(opts)
-	if err != nil {
-		return "", engine.Stats{}, err
-	}
-
+// reportBody renders the plan annotated with an already-measured run:
+// cache outcome, phase timings, executor counters, and the per-cluster
+// breakdown. It is the EXPLAIN ANALYZE layout minus the naive
+// comparison, shared with the slow-query log (which must not re-execute
+// anything).
+func (q *Query) reportBody(res *Result, opts RunOptions) string {
 	var b strings.Builder
 	b.WriteString(q.Explain())
 	fmt.Fprintf(&b, "plan: %s\n", planWord(q.planCached))
@@ -71,6 +71,17 @@ func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error
 			fmt.Fprintf(&b, "  cluster %d: rows=%d %s\n", c.Cluster, c.Rows, c.Stats)
 		}
 	}
+	return b.String()
+}
+
+func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error) {
+	res, err := q.runMeasured(opts)
+	if err != nil {
+		return "", engine.Stats{}, err
+	}
+
+	var b strings.Builder
+	b.WriteString(q.reportBody(res, opts))
 
 	if opts.Executor != NaiveExec {
 		nopts := opts

@@ -60,6 +60,8 @@ type Streamer struct {
 	count        []int
 	ctx          pattern.EvalContext
 	closed       bool
+
+	pruned int64 // rows dropped from the retained window so far
 }
 
 // NewStreamer builds an incremental matcher for the pattern. emit is
@@ -114,6 +116,10 @@ func (s *Streamer) Stats() Stats { return s.stats }
 // BufferLen reports the currently retained window size (for tests and
 // monitoring).
 func (s *Streamer) BufferLen() int { return len(s.buf) }
+
+// Pruned reports the cumulative number of rows dropped from the
+// retained window (for the pruned-rows observability counters).
+func (s *Streamer) Pruned() int64 { return s.pruned }
 
 // Window exposes the retained tuples and the global 0-based index of the
 // first one. Inside an emit callback the window still covers the
@@ -309,6 +315,7 @@ func (s *Streamer) prune() {
 		s.proj.DropFront(drop)
 	}
 	s.base += drop
+	s.pruned += int64(drop)
 	for k := range s.ctx.Bind {
 		if s.ctx.Bind[k].Set {
 			s.ctx.Bind[k].Start -= drop

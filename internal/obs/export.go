@@ -1,0 +1,54 @@
+package obs
+
+// Chrome trace-event export: renders a span list as the JSON array
+// format that chrome://tracing, Perfetto, and speedscope load directly.
+// Each span becomes one complete ("ph":"X") event with its annotations
+// as args; timestamps are microseconds relative to the earliest span so
+// traces captured at different absolute times line up at zero.
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // µs since trace start
+	Dur  float64        `json:"dur"` // µs
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes spans as a Chrome trace-event JSON array.
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	var base time.Time
+	for _, sp := range spans {
+		if base.IsZero() || sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Sub(base).Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(sp.Annots) > 0 {
+			ev.Args = make(map[string]any, len(sp.Annots))
+			for _, a := range sp.Annots {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}

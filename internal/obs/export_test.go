@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	spans := []*Span{
+		{Name: "parse", Start: base, Duration: 50 * time.Microsecond},
+		{
+			Name:     "execute",
+			Start:    base.Add(100 * time.Microsecond),
+			Duration: 2 * time.Millisecond,
+			Annots:   []Annot{{Key: "pred_evals", Value: 42}},
+		},
+	}
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Name != "parse" || events[0].Ph != "X" || events[0].Ts != 0 {
+		t.Errorf("first event wrong: %+v", events[0])
+	}
+	if events[0].Dur != 50 {
+		t.Errorf("first event dur = %v µs, want 50", events[0].Dur)
+	}
+	// Timestamps are relative to the earliest span.
+	if events[1].Ts != 100 || events[1].Dur != 2000 {
+		t.Errorf("second event ts/dur = %v/%v µs, want 100/2000", events[1].Ts, events[1].Dur)
+	}
+	if v, ok := events[1].Args["pred_evals"]; !ok || v != float64(42) {
+		t.Errorf("annotation not exported as args: %+v", events[1].Args)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty span list produced %d events", len(events))
+	}
+}

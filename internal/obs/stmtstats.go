@@ -1,0 +1,556 @@
+package obs
+
+// Statement-level statistics: a sharded, lock-cheap store keyed by
+// normalized SQL text. Every query execution (and stream push) lands a
+// handful of atomic adds on its statement's entry, so the serving path
+// pays no shared lock; the shard mutexes are touched only to resolve a
+// key to its entry (read-locked) or to create one (write-locked, once
+// per statement).
+//
+// The package stays engine-agnostic: callers hand over plain integers
+// (QueryObs), and snapshots come back as JSON-taggable values.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latBounds are the latency bucket upper bounds in nanoseconds:
+// geometric from 1µs with ratio 1.5, 48 buckets (≈1µs … ≈190s), plus an
+// implicit overflow bucket. Ratio 1.5 bounds the worst-case quantile
+// error at ~25% before interpolation, which is plenty for p50/p95/p99
+// dashboards while keeping Observe a short binary search.
+var latBounds = func() []int64 {
+	b := make([]int64, 48)
+	v := 1000.0
+	for i := range b {
+		b[i] = int64(v)
+		v *= 1.5
+	}
+	return b
+}()
+
+// LatencyHist is a lock-free log-bucketed latency histogram. The zero
+// value is ready to use. All methods are safe for concurrent use; a nil
+// receiver is a no-op, so disabled stores need no call-site guards.
+type LatencyHist struct {
+	buckets [49]atomic.Int64 // latBounds buckets + overflow
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+	max     atomic.Int64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *LatencyHist) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(len(latBounds), func(i int) bool { return ns <= latBounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed nanoseconds.
+func (h *LatencyHist) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation in nanoseconds.
+func (h *LatencyHist) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) in nanoseconds by
+// linear interpolation within the landing bucket. Returns 0 with no
+// observations. Concurrent observations may skew an in-flight estimate
+// slightly; each bucket read is individually atomic.
+func (h *LatencyHist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			var lo int64
+			if i > 0 {
+				lo = latBounds[i-1]
+			}
+			hi := h.max.Load()
+			if i < len(latBounds) && latBounds[i] < hi {
+				hi = latBounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := float64(target-cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.max.Load()
+}
+
+// QueryObs carries one finished query execution into the store: plain
+// integers so the caller's engine types stay out of this package.
+type QueryObs struct {
+	DurNs           int64
+	Rows            int64
+	RowsScanned     int64
+	PredEvals       int64
+	Rollbacks       int64
+	Matches         int64
+	PlanCached      bool
+	PartitionCached bool
+	// Kernel reports whether compiled predicate kernels evaluated probes
+	// (false = interpreter run, via NoKernel or full fallback).
+	Kernel bool
+	// Naive marks runs of the naive executor; pred-evals of naive and
+	// optimized runs accumulate separately so the paper's savings metric
+	// is computable per statement once both have been observed.
+	Naive bool
+}
+
+// StmtStats accumulates counters for one statement. All fields are
+// atomics; methods are safe for concurrent use and no-ops on a nil
+// receiver (a disabled store hands out nil entries).
+type StmtStats struct {
+	key string
+
+	calls     atomic.Int64
+	errors    atomic.Int64
+	rows      atomic.Int64
+	scanned   atomic.Int64
+	predEvals atomic.Int64
+	rollbacks atomic.Int64
+	matches   atomic.Int64
+
+	planHits   atomic.Int64
+	partHits   atomic.Int64
+	kernelRuns atomic.Int64
+	interpRuns atomic.Int64
+
+	naiveCalls     atomic.Int64
+	naivePredEvals atomic.Int64
+	optCalls       atomic.Int64
+	optPredEvals   atomic.Int64
+
+	pushes      atomic.Int64
+	pushMatches atomic.Int64
+	prunedRows  atomic.Int64
+	streamsOpen atomic.Int64
+
+	sampleTick atomic.Int64
+	lastTrace  atomic.Uint64
+
+	lat     LatencyHist
+	pushLat LatencyHist
+}
+
+// Key returns the statement key (normalized SQL) the entry aggregates.
+func (s *StmtStats) Key() string {
+	if s == nil {
+		return ""
+	}
+	return s.key
+}
+
+// RecordQuery folds one finished execution into the entry.
+func (s *StmtStats) RecordQuery(o QueryObs) {
+	if s == nil {
+		return
+	}
+	s.calls.Add(1)
+	s.rows.Add(o.Rows)
+	s.scanned.Add(o.RowsScanned)
+	s.predEvals.Add(o.PredEvals)
+	s.rollbacks.Add(o.Rollbacks)
+	s.matches.Add(o.Matches)
+	if o.PlanCached {
+		s.planHits.Add(1)
+	}
+	if o.PartitionCached {
+		s.partHits.Add(1)
+	}
+	if o.Kernel {
+		s.kernelRuns.Add(1)
+	} else {
+		s.interpRuns.Add(1)
+	}
+	if o.Naive {
+		s.naiveCalls.Add(1)
+		s.naivePredEvals.Add(o.PredEvals)
+	} else {
+		s.optCalls.Add(1)
+		s.optPredEvals.Add(o.PredEvals)
+	}
+	s.lat.Observe(o.DurNs)
+}
+
+// RecordError counts one failed execution.
+func (s *StmtStats) RecordError() {
+	if s == nil {
+		return
+	}
+	s.errors.Add(1)
+}
+
+// RecordPush folds one stream push into the entry: rows pruned from the
+// retained window, plus the push latency when it was sampled (a
+// negative durNs means this push's latency was not measured — push and
+// pruned counts stay exact, the latency histogram subsamples).
+func (s *StmtStats) RecordPush(durNs, pruned int64) {
+	if s == nil {
+		return
+	}
+	s.pushes.Add(1)
+	s.prunedRows.Add(pruned)
+	if durNs >= 0 {
+		s.pushLat.Observe(durNs)
+	}
+}
+
+// RecordPushMatch counts one match emitted by a continuous query.
+func (s *StmtStats) RecordPushMatch() {
+	if s == nil {
+		return
+	}
+	s.pushMatches.Add(1)
+}
+
+// StreamOpened / StreamClosed track the statement's open-stream gauge.
+func (s *StmtStats) StreamOpened() {
+	if s == nil {
+		return
+	}
+	s.streamsOpen.Add(1)
+}
+
+// StreamClosed decrements the open-stream gauge.
+func (s *StmtStats) StreamClosed() {
+	if s == nil {
+		return
+	}
+	s.streamsOpen.Add(-1)
+}
+
+// SampleTick returns the 0-based execution ordinal for trace-sampling
+// decisions (tick%N == 0 keeps a trace ⇒ the first execution and every
+// N-th after it).
+func (s *StmtStats) SampleTick() int64 {
+	if s == nil {
+		return -1
+	}
+	return s.sampleTick.Add(1) - 1
+}
+
+// SetLastTrace records the ID of the most recently retained trace.
+func (s *StmtStats) SetLastTrace(id uint64) {
+	if s == nil {
+		return
+	}
+	s.lastTrace.Store(id)
+}
+
+// StmtSnapshot is a point-in-time copy of one statement's counters,
+// JSON-ready for /debug/statements. Individual fields are read
+// atomically; a snapshot taken while updates are in flight may be
+// internally skewed by the in-flight deltas.
+type StmtSnapshot struct {
+	SQL    string `json:"sql"`
+	Calls  int64  `json:"calls"`
+	Errors int64  `json:"errors,omitempty"`
+
+	Rows        int64 `json:"rows"`
+	RowsScanned int64 `json:"rows_scanned"`
+	PredEvals   int64 `json:"pred_evals"`
+	Rollbacks   int64 `json:"rollbacks"`
+	Matches     int64 `json:"matches"`
+
+	PlanCacheHits      int64 `json:"plan_cache_hits"`
+	PartitionCacheHits int64 `json:"partition_cache_hits"`
+	KernelRuns         int64 `json:"kernel_runs"`
+	InterpreterRuns    int64 `json:"interpreter_runs"`
+
+	NaiveCalls     int64 `json:"naive_calls,omitempty"`
+	NaivePredEvals int64 `json:"naive_pred_evals,omitempty"`
+	// OPSSavingsPct is the paper's headline metric — the percentage of
+	// per-call predicate evaluations OPS saves over naive — computable
+	// once the statement has been run under both executors (EXPLAIN
+	// ANALYZE's diagnostic re-run does not count; see RunOptions.Executor).
+	OPSSavingsPct float64 `json:"ops_savings_pct,omitempty"`
+
+	TotalNs int64 `json:"total_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+	P50Ns   int64 `json:"p50_ns"`
+	P95Ns   int64 `json:"p95_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+	MaxNs   int64 `json:"max_ns"`
+
+	StreamPushes  int64 `json:"stream_pushes,omitempty"`
+	StreamMatches int64 `json:"stream_matches,omitempty"`
+	PrunedRows    int64 `json:"stream_pruned_rows,omitempty"`
+	StreamsOpen   int64 `json:"streams_open,omitempty"`
+	PushP50Ns     int64 `json:"push_p50_ns,omitempty"`
+	PushP99Ns     int64 `json:"push_p99_ns,omitempty"`
+
+	LastTraceID uint64 `json:"last_trace_id,omitempty"`
+}
+
+// Snapshot copies the entry's counters.
+func (s *StmtStats) Snapshot() StmtSnapshot {
+	if s == nil {
+		return StmtSnapshot{}
+	}
+	out := StmtSnapshot{
+		SQL:    s.key,
+		Calls:  s.calls.Load(),
+		Errors: s.errors.Load(),
+
+		Rows:        s.rows.Load(),
+		RowsScanned: s.scanned.Load(),
+		PredEvals:   s.predEvals.Load(),
+		Rollbacks:   s.rollbacks.Load(),
+		Matches:     s.matches.Load(),
+
+		PlanCacheHits:      s.planHits.Load(),
+		PartitionCacheHits: s.partHits.Load(),
+		KernelRuns:         s.kernelRuns.Load(),
+		InterpreterRuns:    s.interpRuns.Load(),
+
+		NaiveCalls:     s.naiveCalls.Load(),
+		NaivePredEvals: s.naivePredEvals.Load(),
+
+		TotalNs: s.lat.Sum(),
+		P50Ns:   s.lat.Quantile(0.50),
+		P95Ns:   s.lat.Quantile(0.95),
+		P99Ns:   s.lat.Quantile(0.99),
+		MaxNs:   s.lat.Max(),
+
+		StreamPushes:  s.pushes.Load(),
+		StreamMatches: s.pushMatches.Load(),
+		PrunedRows:    s.prunedRows.Load(),
+		StreamsOpen:   s.streamsOpen.Load(),
+		PushP50Ns:     s.pushLat.Quantile(0.50),
+		PushP99Ns:     s.pushLat.Quantile(0.99),
+
+		LastTraceID: s.lastTrace.Load(),
+	}
+	if out.Calls > 0 {
+		out.MeanNs = out.TotalNs / out.Calls
+	}
+	if nc, oc := out.NaiveCalls, s.optCalls.Load(); nc > 0 && oc > 0 {
+		naiveAvg := float64(out.NaivePredEvals) / float64(nc)
+		optAvg := float64(s.optPredEvals.Load()) / float64(oc)
+		if naiveAvg > 0 {
+			out.OPSSavingsPct = 100 * (1 - optAvg/naiveAvg)
+		}
+	}
+	return out
+}
+
+// OverflowKey is the catch-all entry statements fold into once the
+// store is at capacity, so totals stay exact even when per-statement
+// resolution is lost.
+const OverflowKey = "(other statements)"
+
+const stmtShards = 16
+
+type stmtShard struct {
+	mu      sync.RWMutex
+	entries map[string]*StmtStats
+}
+
+// StmtStore maps statement keys to their stats entries. Get resolves or
+// creates entries with per-shard locks; all accumulation happens on the
+// returned entry's atomics. Capacity bounds the number of distinct
+// tracked statements — beyond it, new statements share one overflow
+// entry (OverflowKey) — and capacity 0 disables tracking entirely (Get
+// returns nil, whose methods are no-ops).
+type StmtStore struct {
+	capacity atomic.Int64
+	count    atomic.Int64
+	overflow atomic.Pointer[StmtStats]
+	shards   [stmtShards]stmtShard
+}
+
+// NewStmtStore creates a store tracking at most capacity distinct
+// statements (0 disables tracking).
+func NewStmtStore(capacity int) *StmtStore {
+	st := &StmtStore{}
+	st.capacity.Store(int64(capacity))
+	for i := range st.shards {
+		st.shards[i].entries = map[string]*StmtStats{}
+	}
+	return st
+}
+
+// fnv1a is the shard hash (inlined to keep Get allocation-free).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Get returns the entry for key, creating it on first use. At capacity
+// it returns the shared overflow entry; with tracking disabled it
+// returns nil.
+func (st *StmtStore) Get(key string) *StmtStats {
+	cap := st.capacity.Load()
+	if cap <= 0 {
+		return nil
+	}
+	sh := &st.shards[fnv1a(key)%stmtShards]
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	if st.count.Load() >= cap {
+		return st.overflowEntry()
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.entries[key]; e != nil {
+		return e
+	}
+	// Re-check under the shard lock; a concurrent flood may have filled
+	// the store since the load above (mild over-admission across shards
+	// is acceptable — the cap bounds memory, it is not a quota).
+	if st.count.Load() >= cap {
+		return st.overflowEntry()
+	}
+	e = &StmtStats{key: key}
+	sh.entries[key] = e
+	st.count.Add(1)
+	return e
+}
+
+// Lookup returns the entry for key without creating one.
+func (st *StmtStore) Lookup(key string) *StmtStats {
+	sh := &st.shards[fnv1a(key)%stmtShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.entries[key]
+}
+
+func (st *StmtStore) overflowEntry() *StmtStats {
+	if e := st.overflow.Load(); e != nil {
+		return e
+	}
+	e := &StmtStats{key: OverflowKey}
+	if st.overflow.CompareAndSwap(nil, e) {
+		return e
+	}
+	return st.overflow.Load()
+}
+
+// Len reports the number of distinct tracked statements (the overflow
+// entry excluded).
+func (st *StmtStore) Len() int { return int(st.count.Load()) }
+
+// Capacity returns the current statement capacity (0 = disabled).
+func (st *StmtStore) Capacity() int { return int(st.capacity.Load()) }
+
+// SetCapacity changes the tracked-statement bound. Shrinking does not
+// evict existing entries (they keep aggregating); 0 stops tracking and
+// clears the store.
+func (st *StmtStore) SetCapacity(n int) {
+	st.capacity.Store(int64(n))
+	if n <= 0 {
+		st.Reset()
+	}
+}
+
+// Reset drops every entry (and the overflow entry). Goroutines holding
+// an entry across the reset keep updating their orphaned copy, which is
+// then unreachable from snapshots — resets are coarse, not linearized
+// against in-flight executions.
+func (st *StmtStore) Reset() {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.entries = map[string]*StmtStats{}
+		sh.mu.Unlock()
+	}
+	st.overflow.Store(nil)
+	st.count.Store(0)
+}
+
+// Entries returns the live entries in unspecified order (overflow entry
+// last when present).
+func (st *StmtStore) Entries() []*StmtStats {
+	out := make([]*StmtStats, 0, st.count.Load()+1)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	if e := st.overflow.Load(); e != nil {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Snapshots returns a snapshot per entry, sorted by total query time
+// descending (hot statements first), ties broken by key.
+func (st *StmtStore) Snapshots() []StmtSnapshot {
+	es := st.Entries()
+	out := make([]StmtSnapshot, len(es))
+	for i, e := range es {
+		out[i] = e.Snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs != out[j].TotalNs {
+			return out[i].TotalNs > out[j].TotalNs
+		}
+		return out[i].SQL < out[j].SQL
+	})
+	return out
+}

@@ -26,9 +26,18 @@ type dbMetrics struct {
 	slowQueries     *obs.Counter
 	queryDuration   *obs.Histogram
 
-	streamPushes   *obs.Counter
-	streamMatches  *obs.Counter
-	streamClusters *obs.Gauge
+	streamPushes       *obs.Counter
+	streamMatches      *obs.Counter
+	streamClusters     *obs.Gauge
+	streamsOpen        *obs.Gauge
+	streamPushDuration *obs.Histogram
+	streamPrunedRows   *obs.Counter
+
+	goroutines   *obs.Gauge
+	heapAlloc    *obs.Gauge
+	heapObjects  *obs.Gauge
+	gcCycles     *obs.Gauge
+	gcPauseTotal *obs.Gauge
 
 	kernelCompiled *obs.Counter
 	kernelFallback *obs.Counter
@@ -70,6 +79,22 @@ func newDBMetrics() *dbMetrics {
 			"Matches emitted by continuous queries."),
 		streamClusters: reg.Gauge("sqlts_stream_active_clusters",
 			"Cluster matchers currently live across open streams."),
+		streamsOpen: reg.Gauge("sqlts_streams_open",
+			"Continuous queries currently open (OpenStream minus Close)."),
+		streamPushDuration: reg.Histogram("sqlts_stream_push_duration_seconds",
+			"Per-push stream latency (sampled 1 push in 16).", nil),
+		streamPrunedRows: reg.Counter("sqlts_stream_pruned_rows_total",
+			"Rows dropped from stream retained windows by pruning."),
+		goroutines: reg.Gauge("sqlts_goroutines",
+			"Goroutines at the last runtime sample."),
+		heapAlloc: reg.Gauge("sqlts_heap_alloc_bytes",
+			"Live heap bytes at the last runtime sample."),
+		heapObjects: reg.Gauge("sqlts_heap_objects",
+			"Live heap objects at the last runtime sample."),
+		gcCycles: reg.Gauge("sqlts_gc_cycles_total",
+			"Completed GC cycles at the last runtime sample."),
+		gcPauseTotal: reg.Gauge("sqlts_gc_pause_total_ns",
+			"Cumulative GC stop-the-world pause at the last runtime sample."),
 		kernelCompiled: reg.Counter("sqlts_kernel_elements_compiled_total",
 			"Pattern elements compiled to columnar predicate kernels at Prepare."),
 		kernelFallback: reg.Counter("sqlts_kernel_elements_fallback_total",
@@ -125,7 +150,8 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration, fn func(SlowQueryInfo)) {
 }
 
 // observeRun records one finished execution in the metrics registry and
-// fires the slow-query hook.
+// the statement-stats store, samples the lifecycle trace, and feeds the
+// slow-query log and hook.
 func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, dur time.Duration) {
 	m := db.metrics
 	m.queries.Inc()
@@ -137,11 +163,33 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 	m.clustersScanned.Add(int64(len(res.clusterStats)))
 	m.queryDuration.Observe(dur.Seconds())
 
+	// Statement stats mirror the Result counters exactly: same values,
+	// bucketed by the plan's normalized-SQL key (nil entry = disabled).
+	entry := db.stmts.Get(q.plan.key)
+	entry.RecordQuery(obs.QueryObs{
+		DurNs:           dur.Nanoseconds(),
+		Rows:            int64(len(res.Rows)),
+		RowsScanned:     int64(scanned),
+		PredEvals:       res.Stats.PredEvals,
+		Rollbacks:       res.Stats.Rollbacks,
+		Matches:         int64(res.Stats.Matches),
+		PlanCached:      q.planCached,
+		PartitionCached: res.partitionCached,
+		Kernel:          !opts.NoKernel && q.plan.kernel != nil && q.plan.kernel.CompiledElems() > 0,
+		Naive:           opts.Executor == NaiveExec,
+	})
+	if rate := db.traceSampleRate.Load(); rate > 0 && entry != nil {
+		if tick := entry.SampleTick(); tick%rate == 0 {
+			db.retainTrace(q, entry, false)
+		}
+	}
+
 	db.slowMu.Lock()
 	threshold, fn := db.slowThreshold, db.slowFn
 	db.slowMu.Unlock()
 	if threshold > 0 && dur >= threshold {
 		m.slowQueries.Inc()
+		db.recordSlow(q, opts, res, scanned, dur, entry)
 		if fn != nil {
 			fn(SlowQueryInfo{
 				SQL:      q.plan.sql,
@@ -152,4 +200,22 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 			})
 		}
 	}
+}
+
+// recordSlow captures one over-threshold execution into the slow-query
+// ring: the retained trace, the run's counters, and the rendered report
+// (plan + phases + per-cluster stats — no re-execution happens here).
+func (db *DB) recordSlow(q *Query, opts RunOptions, res *Result, scanned int, dur time.Duration, entry *obs.StmtStats) {
+	traceID := db.retainTrace(q, entry, true)
+	db.slow.add(SlowQueryRecord{
+		TraceID:  traceID,
+		Time:     time.Now(),
+		SQL:      q.plan.sql,
+		Executor: opts.Executor.String(),
+		Duration: dur,
+		Rows:     len(res.Rows),
+		Scanned:  scanned,
+		Stats:    res.Stats,
+		Report:   q.reportBody(res, opts),
+	})
 }

@@ -23,11 +23,14 @@ import (
 	"sqlts/internal/storage"
 )
 
-// normalizeSQL is the plan-cache key function: it collapses runs of
-// whitespace to single spaces and trims the ends, so formatting
-// variants of one query share a cache entry. Quoted strings pass
-// through untouched. No parsing happens here — on a cache hit the whole
-// parse/analyze/optimize pipeline is skipped.
+// normalizeSQL is the plan-cache (and statement-stats) key function: it
+// collapses runs of whitespace to single spaces, trims the ends, and
+// case-folds ASCII letters, so formatting and case variants of one
+// query share a cache entry (the language resolves keywords, table and
+// column names case-insensitively). Quoted strings pass through
+// untouched — 'INTC' and 'intc' are different values. No parsing
+// happens here — on a cache hit the whole parse/analyze/optimize
+// pipeline is skipped.
 func normalizeSQL(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
@@ -57,6 +60,9 @@ func normalizeSQL(sql string) string {
 				b.WriteByte(' ')
 			}
 			space = false
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
 			b.WriteByte(c)
 		}
 	}

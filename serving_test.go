@@ -40,10 +40,13 @@ func equalResults(t *testing.T, label string, got, want *Result) {
 
 func TestNormalizeSQL(t *testing.T) {
 	cases := []struct{ in, want string }{
-		{"SELECT  X.a\n\tFROM q", "SELECT X.a FROM q"},
-		{"  SELECT X.a FROM q  ", "SELECT X.a FROM q"},
-		{"SELECT 'a  b' FROM q", "SELECT 'a  b' FROM q"},
-		{"SELECT\n'a\nb'", "SELECT 'a\nb'"},
+		{"SELECT  X.a\n\tFROM q", "select x.a from q"},
+		{"  SELECT X.a FROM q  ", "select x.a from q"},
+		// Case folds outside quotes; quoted strings (including their
+		// whitespace and case) pass through untouched.
+		{"SELECT 'a  B' FROM q", "select 'a  B' from q"},
+		{"SELECT\n'a\nb'", "select 'a\nb'"},
+		{"select X.A from Q", "select x.a from q"},
 	}
 	for _, c := range cases {
 		if got := normalizeSQL(c.in); got != c.want {
@@ -55,6 +58,55 @@ func TestNormalizeSQL(t *testing.T) {
 const servingSQL = `
 	SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS (X, Y, Z)
 	WHERE Y.price > 1.15*X.price AND Z.price < 0.80*Y.price`
+
+// TestPlanCacheCaseInsensitive is the case-folding regression test:
+// case variants of one statement must share a plan-cache entry (and
+// therefore one statement-stats key), since the language resolves
+// keywords and identifiers case-insensitively.
+func TestPlanCacheCaseInsensitive(t *testing.T) {
+	db := quoteDB(t)
+	insertSeries(t, db, "INTC", 10000, 60, 70, 55, 56)
+
+	q1, err := db.Prepare(servingSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.PlanCached() {
+		t.Fatal("first Prepare reported a cache hit")
+	}
+	for _, variant := range []string{
+		strings.ToUpper(servingSQL),
+		strings.ToLower(servingSQL),
+	} {
+		q2, err := db.Prepare(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q2.PlanCached() {
+			t.Fatalf("case variant missed the plan cache:\n%s", variant)
+		}
+		res, err := q2.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("case variant returned %d rows, want 1", len(res.Rows))
+		}
+	}
+	// All three spellings aggregate into one statement-stats entry.
+	keys := 0
+	for _, s := range db.StatementStats() {
+		if strings.Contains(s.SQL, "1.15*x.price") {
+			keys++
+			if s.Calls != 2 {
+				t.Fatalf("statement entry has %d calls, want 2 (the two Run calls)", s.Calls)
+			}
+		}
+	}
+	if keys != 1 {
+		t.Fatalf("found %d statement entries for the case variants, want 1", keys)
+	}
+}
 
 // TestPlanCache checks that repeated Prepares share one immutable plan,
 // that whitespace variants share a cache entry, and that catalog

@@ -67,6 +67,15 @@ type DB struct {
 
 	metrics *dbMetrics
 
+	// Statement introspection (introspect.go): per-statement stats keyed
+	// like the plan cache, the retained slow-query log, and sampled
+	// lifecycle traces. traceSampleRate is the 1-in-N per-statement
+	// sampling knob (0 = off).
+	stmts           *obs.StmtStore
+	slow            *slowLog
+	traces          *traceStore
+	traceSampleRate atomic.Int64
+
 	slowMu        sync.Mutex
 	slowThreshold time.Duration
 	slowFn        func(SlowQueryInfo)
@@ -80,6 +89,9 @@ func New() *DB {
 		plans:    newPlanCache(defaultPlanCacheCapacity),
 		parts:    newPartitionCache(defaultPartitionCacheCapacity),
 		metrics:  newDBMetrics(),
+		stmts:    obs.NewStmtStore(defaultStatementCapacity),
+		slow:     newSlowLog(defaultSlowLogCapacity),
+		traces:   newTraceStore(defaultTraceCapacity),
 	}
 }
 
@@ -357,6 +369,7 @@ const (
 // per-run mutable state lives in Query and in per-run executors.
 type Plan struct {
 	sql      string
+	key      string // normalized SQL — the plan-cache and statement-stats key
 	compiled *query.Compiled
 	tables   *core.Tables
 	kernel   *pattern.Kernel
@@ -443,6 +456,7 @@ func (db *DB) Prepare(sql string) (*Query, error) {
 	}
 	plan.explain = mode
 	plan.catalogVersion = catalog
+	plan.key = key
 	plan.compileSpans = compileSpansOf(tr)
 	db.storePlan(key, plan)
 	return &Query{db: db, plan: plan, trace: tr}, nil
@@ -640,6 +654,7 @@ func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
 	if err != nil {
 		sp.End()
 		q.db.metrics.queryErrors.Inc()
+		q.db.stmts.Get(q.plan.key).RecordError()
 		return nil, err
 	}
 	res.planCached = q.planCached

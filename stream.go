@@ -3,9 +3,11 @@ package sqlts
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"sqlts/internal/core"
 	"sqlts/internal/engine"
+	"sqlts/internal/obs"
 	"sqlts/internal/pattern"
 	"sqlts/internal/storage"
 )
@@ -41,6 +43,12 @@ type Stream struct {
 	cluIdx   []int
 	sinkErr  error
 	closed   bool
+
+	// entry is the statement-stats bucket pushes and matches accumulate
+	// into (nil when statement tracking is disabled); pushSeq drives the
+	// 1-in-16 push-latency sampling.
+	entry   *obs.StmtStats
+	pushSeq uint64
 }
 
 type clusterStream struct {
@@ -74,6 +82,7 @@ func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*S
 		sink:     sink,
 		tables:   q.plan.streamTabs(),
 		clusters: map[string]*clusterStream{},
+		entry:    q.db.stmts.Get(q.plan.key),
 	}
 	for _, col := range compiled.SequenceBy {
 		i, _ := compiled.Schema.ColumnIndex(col)
@@ -83,6 +92,8 @@ func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*S
 		i, _ := compiled.Schema.ColumnIndex(col)
 		st.cluIdx = append(st.cluIdx, i)
 	}
+	q.db.metrics.streamsOpen.Inc()
+	st.entry.StreamOpened()
 	return st, nil
 }
 
@@ -125,6 +136,16 @@ func (st *Stream) Push(vals ...storage.Value) error {
 
 	m := st.q.db.metrics
 	m.streamPushes.Inc()
+	// Per-push latency is sampled 1 push in 16: pushes are ~µs-scale, so
+	// two clock reads on every one would be a measurable tax on the
+	// steady-state streaming path. Push and pruned-row *counts* are
+	// exact; only the latency histograms subsample.
+	var pushStart time.Time
+	sampled := st.pushSeq&15 == 0
+	st.pushSeq++
+	if sampled {
+		pushStart = time.Now()
+	}
 	key := st.clusterKey(row)
 	cs := st.clusters[key]
 	if cs == nil {
@@ -149,9 +170,21 @@ func (st *Stream) Push(vals ...storage.Value) error {
 		}
 	}
 	cs.lastSeq = row
+	prunedBefore := cs.s.Pruned()
 	if err := cs.s.Push(row); err != nil {
 		return err
 	}
+	pruned := cs.s.Pruned() - prunedBefore
+	if pruned > 0 {
+		m.streamPrunedRows.Add(pruned)
+	}
+	durNs := int64(-1) // negative = latency not sampled this push
+	if sampled {
+		d := time.Since(pushStart)
+		m.streamPushDuration.Observe(d.Seconds())
+		durNs = d.Nanoseconds()
+	}
+	st.entry.RecordPush(durNs, pruned)
 	return st.sinkErr
 }
 
@@ -174,6 +207,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 			return
 		}
 		st.q.db.metrics.streamMatches.Inc()
+		st.entry.RecordPushMatch()
 		// Evaluate output expressions against the matcher's retained
 		// window (still covering the match during emission). References
 		// past the match end (e.g. a trailing X.next) resolve to NULL if
@@ -228,6 +262,8 @@ func (st *Stream) Close() error {
 		cs.s.Flush()
 	}
 	st.q.db.metrics.streamClusters.Add(-int64(len(st.clusters)))
+	st.q.db.metrics.streamsOpen.Dec()
+	st.entry.StreamClosed()
 	return st.sinkErr
 }
 
