@@ -2,9 +2,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"sqlts"
@@ -26,11 +30,17 @@ import (
 //	              record's annotated plan report)
 //	\timing [on|off]  toggle wall-clock timing of each statement
 //	              (cache hits are noted on the timing line)
+//	\timeout [dur|off]  bound each statement's execution (e.g. 500ms,
+//	              2s); a statement past its deadline fails with the
+//	              typed deadline error instead of running away
 //	\cache        plan/partition cache sizes, hit rates, table versions
 //	\metrics      dump the Prometheus metrics registry
 //
 // EXPLAIN [ANALYZE] SELECT ... statements pass through to the engine
 // and print the rendered plan.
+//
+// Ctrl-C cancels the in-flight statement (surfacing the typed
+// cancellation error) instead of exiting the shell; \q exits.
 func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, overlap bool) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -38,6 +48,38 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 	explain := false
 	stats := false
 	timing := false
+	var timeout time.Duration
+
+	// SIGINT cancels the statement currently executing (if any) rather
+	// than killing the shell. The holder hands each statement's cancel
+	// func to the signal goroutine for the duration of its run.
+	var cancelMu sync.Mutex
+	var cancelCurrent context.CancelFunc
+	setCancel := func(c context.CancelFunc) {
+		cancelMu.Lock()
+		cancelCurrent = c
+		cancelMu.Unlock()
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	sigDone := make(chan struct{})
+	defer close(sigDone)
+	go func() {
+		for {
+			select {
+			case <-sigc:
+				cancelMu.Lock()
+				if cancelCurrent != nil {
+					cancelCurrent()
+				}
+				cancelMu.Unlock()
+			case <-sigDone:
+				return
+			}
+		}
+	}()
+
 	fmt.Fprintln(out, `sqlts interactive shell — end statements with ';', \q to quit`)
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -89,6 +131,27 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 					continue
 				}
 				fmt.Fprintf(out, "timing: %v\n", onOff(timing))
+			case trimmed == `\timeout` || strings.HasPrefix(trimmed, `\timeout `):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\timeout`))
+				switch {
+				case arg == "":
+					// show current
+				case arg == "off" || arg == "0":
+					timeout = 0
+				default:
+					d, err := time.ParseDuration(arg)
+					if err != nil || d < 0 {
+						fmt.Fprintf(out, "usage: \\timeout [duration|off] (e.g. \\timeout 500ms)\n")
+						prompt()
+						continue
+					}
+					timeout = d
+				}
+				if timeout == 0 {
+					fmt.Fprintln(out, "timeout: off")
+				} else {
+					fmt.Fprintf(out, "timeout: %s\n", timeout)
+				}
 			case trimmed == `\cache`:
 				printCacheStats(db, out)
 			case trimmed == `\metrics`:
@@ -119,6 +182,7 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 		buf.Reset()
 		if err := execStatements(db, src, out, execOpts{
 			kind: kind, overlap: overlap, explain: explain, stats: stats, timing: timing,
+			timeout: timeout, setCancel: setCancel,
 		}); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
@@ -178,6 +242,11 @@ type execOpts struct {
 	explain bool
 	stats   bool
 	timing  bool
+	// timeout bounds each statement via RunOptions.Deadline (0 = none).
+	timeout time.Duration
+	// setCancel publishes the running statement's cancel func to the
+	// SIGINT handler (nil when the REPL runs without one, e.g. tests).
+	setCancel func(context.CancelFunc)
 }
 
 // execStatements parses and runs a script fragment in the REPL.
@@ -204,7 +273,18 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) erro
 			if opts.explain {
 				fmt.Fprintln(out, q.Explain())
 			}
-			res, err := q.RunWith(sqlts.RunOptions{Executor: opts.kind, Overlap: opts.overlap})
+			ctx, cancel := context.WithCancel(context.Background())
+			if opts.setCancel != nil {
+				opts.setCancel(cancel)
+			}
+			res, err := q.RunWith(sqlts.RunOptions{
+				Executor: opts.kind, Overlap: opts.overlap,
+				Context: ctx, Deadline: opts.timeout,
+			})
+			if opts.setCancel != nil {
+				opts.setCancel(nil)
+			}
+			cancel()
 			if err != nil {
 				return err
 			}

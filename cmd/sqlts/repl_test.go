@@ -155,3 +155,42 @@ SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
 		t.Errorf("expected exactly one cached timing note:\n%s", got)
 	}
 }
+
+// TestREPLTimeout covers the \timeout meta-command: setting, showing,
+// turning off, rejecting garbage — and an expired deadline surfacing as
+// the typed error on the next statement.
+func TestREPLTimeout(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader(`
+CREATE TABLE q (d DATE, p REAL);
+INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
+\timeout 250ms
+SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\timeout
+\timeout 1ns
+SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\timeout off
+\timeout bogus
+SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\q
+`)
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"timeout: 250ms",
+		"timeout: off",
+		"deadline exceeded", // the 1ns deadline trips the typed error
+		`usage: \timeout [duration|off]`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+	// The 250ms-bounded SELECT and the final unbounded SELECT succeed.
+	if strings.Count(got, "(1 rows)") != 2 {
+		t.Errorf("expected two successful SELECTs:\n%s", got)
+	}
+}

@@ -42,14 +42,18 @@ func (db *DB) SampleRuntime() {
 }
 
 // StartRuntimeSampler samples the runtime gauges every interval until
-// the returned stop function is called. Stop is idempotent.
+// the returned stop function is called. Stop is idempotent and does not
+// return until the sampler goroutine has exited, so a caller that stops
+// the sampler can immediately assert on goroutine counts.
 func (db *DB) StartRuntimeSampler(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
 	db.SampleRuntime()
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
@@ -62,7 +66,10 @@ func (db *DB) StartRuntimeSampler(interval time.Duration) (stop func()) {
 		}
 	}()
 	var once sync.Once
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }
 
 // DebugHandler returns an http.Handler exposing the DB's introspection

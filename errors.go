@@ -1,0 +1,168 @@
+package sqlts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sqlts/internal/obs"
+)
+
+// Typed lifecycle errors. Canceled and deadline-exceeded runs wrap the
+// corresponding context sentinel as well, so both
+// errors.Is(err, sqlts.ErrCanceled) and
+// errors.Is(err, context.Canceled) hold.
+var (
+	// ErrCanceled reports a run stopped by its context being canceled.
+	ErrCanceled = errors.New("sqlts: query canceled")
+	// ErrDeadlineExceeded reports a run stopped by its deadline (the
+	// context's or RunOptions.Deadline).
+	ErrDeadlineExceeded = errors.New("sqlts: query deadline exceeded")
+	// ErrBudgetExceeded reports a run stopped by a resource budget
+	// (RunOptions.MaxMatches or MaxRowsScanned).
+	ErrBudgetExceeded = errors.New("sqlts: query budget exceeded")
+	// ErrAdmissionRejected reports a run rejected by admission control:
+	// the concurrent-query semaphore stayed full past the queue-wait
+	// timeout.
+	ErrAdmissionRejected = errors.New("sqlts: query rejected by admission control")
+)
+
+// PanicError is a predicate or executor panic contained at the query
+// boundary: the process survives, the failing run returns this error.
+type PanicError struct {
+	// Statement is the statement key (normalized SQL) of the failing run.
+	Statement string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sqlts: query panicked: %v", e.Value)
+}
+
+// ctxError maps a context error onto the typed taxonomy, wrapping both
+// the sqlts sentinel and the context sentinel.
+func ctxError(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w (%w)", ErrDeadlineExceeded, context.DeadlineExceeded)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w (%w)", ErrCanceled, context.Canceled)
+	default:
+		return err
+	}
+}
+
+// classifyError maps a run error to its statement-stats class.
+func classifyError(err error) obs.ErrClass {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return obs.ErrPanic
+	case errors.Is(err, ErrDeadlineExceeded):
+		return obs.ErrDeadline
+	case errors.Is(err, ErrCanceled):
+		return obs.ErrCanceled
+	case errors.Is(err, ErrBudgetExceeded):
+		return obs.ErrBudget
+	case errors.Is(err, ErrAdmissionRejected):
+		return obs.ErrRejected
+	default:
+		return obs.ErrOther
+	}
+}
+
+// runControl carries one execution's cancellation state: the context's
+// done channel plus the run's resource budgets. A nil *runControl is
+// inert (check returns nil), so unconstrained runs pay a single nil
+// comparison per checkpoint.
+type runControl struct {
+	ctx        context.Context
+	done       <-chan struct{} // ctx.Done(), captured once
+	maxMatches int64           // 0 = unlimited
+	maxScanned int64           // 0 = unlimited
+	matches    atomic.Int64
+}
+
+// newRunControl builds the control for one run, or nil when the run has
+// no context and no budgets (the common uncancellable case).
+func newRunControl(ctx context.Context, opts RunOptions) *runControl {
+	if ctx == nil && opts.MaxMatches == 0 && opts.MaxRowsScanned == 0 {
+		return nil
+	}
+	rc := &runControl{
+		ctx:        ctx,
+		maxMatches: opts.MaxMatches,
+		maxScanned: opts.MaxRowsScanned,
+	}
+	if ctx != nil {
+		rc.done = ctx.Done()
+	}
+	return rc
+}
+
+// check is the cooperative cancellation checkpoint: a typed error means
+// the run must stop. It is installed into executors via SetInterrupt and
+// called directly at coarse-grained points (per cluster, per push). The
+// split keeps check itself inlinable — the select below would block
+// inlining, so unconstrained runs (nil rc, or a context that can never
+// be canceled) pay only an inlined comparison at every call site.
+func (rc *runControl) check() error {
+	if rc == nil || (rc.done == nil && rc.maxMatches == 0) {
+		return nil
+	}
+	return rc.checkSlow()
+}
+
+func (rc *runControl) checkSlow() error {
+	if rc.done != nil {
+		select {
+		case <-rc.done:
+			return ctxError(rc.ctx.Err())
+		default:
+		}
+	}
+	if rc.maxMatches > 0 && rc.matches.Load() > rc.maxMatches {
+		return fmt.Errorf("%w: more than %d matches", ErrBudgetExceeded, rc.maxMatches)
+	}
+	return nil
+}
+
+// addMatches accumulates the match count toward MaxMatches; the budget
+// trips at the next checkpoint.
+func (rc *runControl) addMatches(n int) {
+	if rc == nil || rc.maxMatches == 0 {
+		return
+	}
+	rc.matches.Add(int64(n))
+}
+
+// checkScanned enforces MaxRowsScanned up front: the row count of the
+// run's input is known before the search starts, so an over-budget run
+// fails fast instead of burning its budget first.
+func (rc *runControl) checkScanned(rows int) error {
+	if rc == nil || rc.maxScanned == 0 {
+		return nil
+	}
+	if int64(rows) > rc.maxScanned {
+		return fmt.Errorf("%w: %d input rows exceed MaxRowsScanned=%d", ErrBudgetExceeded, rows, rc.maxScanned)
+	}
+	return nil
+}
+
+// deadlineContext applies RunOptions.Deadline on top of the run context,
+// returning the effective context and a cancel that must be deferred.
+func deadlineContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -86,7 +86,10 @@ func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error
 	if opts.Executor != NaiveExec {
 		nopts := opts
 		nopts.Executor = NaiveExec
-		nres, _, nerr := q.execute(nopts)
+		// Diagnostic re-run: no admission slot, no metrics, and the
+		// caller's budgets don't apply (the comparison must complete to
+		// be meaningful) — but panics are still contained by execute.
+		nres, _, nerr := q.execute(newRunControl(opts.Context, RunOptions{}), nopts)
 		if nerr != nil {
 			return "", engine.Stats{}, nerr
 		}

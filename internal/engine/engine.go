@@ -12,9 +12,49 @@ package engine
 import (
 	"fmt"
 
+	"sqlts/internal/fault"
 	"sqlts/internal/pattern"
 	"sqlts/internal/storage"
 )
+
+// Interrupt unwinds an executor's inner loops when a cooperative
+// cancellation checkpoint reports an error (context canceled, deadline
+// exceeded, injected fault). It is panicked from deep inside FindAll
+// and recovered at the executor boundary in the serving layer, which
+// converts it back into its error; the distinct type keeps genuine
+// predicate panics separable from deliberate unwinds.
+type Interrupt struct{ Err error }
+
+// checkpointMask amortizes cancellation checks: the evaluator consults
+// its interrupt function (and the engine.eval fault point) once every
+// 1024 predicate evaluations, so the warm-path tax is one predictable
+// branch per eval plus a rare function call.
+const checkpointMask = 1<<10 - 1
+
+// Fault-injection sites on the engine's hot paths. Disarmed they cost
+// one atomic load, paid only at amortized checkpoints (eval) or on the
+// mismatch path (shift), never per row.
+var (
+	faultEval       = fault.New("engine.eval")
+	faultOPSShift   = fault.New("engine.ops.shift")
+	faultStreamPush = fault.New("engine.stream.push")
+)
+
+// mustFire fires a fault point and unwinds with an Interrupt when it
+// injects an error. The armed-gate split keeps mustFire inlinable, so
+// disarmed call sites (every OPS rollback goes through one) pay a
+// single atomic load, not a function call.
+func mustFire(p *fault.Point) {
+	if fault.Active() {
+		mustFireSlow(p)
+	}
+}
+
+func mustFireSlow(p *fault.Point) {
+	if err := p.Fire(); err != nil {
+		panic(Interrupt{Err: err})
+	}
+}
 
 // Span aliases pattern.Span for convenience in the engine's public API.
 type Span = pattern.Span
@@ -97,12 +137,17 @@ type PathPoint struct {
 // Executor searches a sequence for all pattern occurrences.
 type Executor interface {
 	// FindAll returns all matches in seq under the executor's policy,
-	// along with the search statistics.
+	// along with the search statistics. With an interrupt installed
+	// (SetInterrupt), FindAll panics an Interrupt when a checkpoint
+	// reports an error — callers that install one must recover it.
 	FindAll(seq []storage.Row) ([]Match, Stats)
 	// UseProjection supplies a prebuilt columnar projection of the next
 	// FindAll sequence (see evaluator.UseProjection); a no-op when no
 	// kernel is attached.
 	UseProjection(*storage.Projection)
+	// SetInterrupt installs a cooperative cancellation checkpoint,
+	// consulted once every 1024 predicate evaluations (nil disables).
+	SetInterrupt(check func() error)
 	// Name identifies the executor in benchmark output.
 	Name() string
 }
@@ -124,6 +169,11 @@ type evaluator struct {
 	trace    []PathPoint
 	doTrc    bool
 	ctx      pattern.EvalContext
+	// check is the cooperative cancellation checkpoint, consulted every
+	// checkpointMask+1 predicate evaluations; nil when no cancellation
+	// is configured (the default, so uncancellable runs pay only the
+	// cadence branch).
+	check func() error
 }
 
 func newEvaluator(p *pattern.Pattern) evaluator {
@@ -152,10 +202,30 @@ func (e *evaluator) UseProjection(proj *storage.Projection) {
 	e.nextProj = proj
 }
 
+// SetInterrupt installs a cooperative cancellation checkpoint: check is
+// consulted once every 1024 predicate evaluations, and a non-nil error
+// unwinds the search with an Interrupt panic carrying it. Install before
+// FindAll; nil removes the checkpoint.
+func (e *evaluator) SetInterrupt(check func() error) { e.check = check }
+
+// checkpoint is the amortized interruption/injection slow path, taken
+// once per 1024 evals.
+func (e *evaluator) checkpoint() {
+	mustFire(faultEval)
+	if e.check != nil {
+		if err := e.check(); err != nil {
+			panic(Interrupt{Err: err})
+		}
+	}
+}
+
 // eval tests pattern element j (1-based) against input tuple i (1-based)
 // and updates the counters.
 func (e *evaluator) eval(j, i int) bool {
 	e.stats.PredEvals++
+	if e.stats.PredEvals&checkpointMask == 0 && (e.check != nil || fault.Active()) {
+		e.checkpoint()
+	}
 	if e.doTrc {
 		e.trace = append(e.trace, PathPoint{I: i, J: j})
 	}

@@ -65,16 +65,30 @@ type KMPResult struct {
 // KMPSearch finds all (possibly overlapping) occurrences of pat in text
 // with the paper's KMP algorithm, counting character comparisons.
 func KMPSearch(pat, text string, trace bool) KMPResult {
+	res, _ := KMPSearchContext(nil, pat, text, trace)
+	return res
+}
+
+// KMPSearchContext is KMPSearch with cooperative cancellation: ctx is
+// consulted once every 4096 character comparisons (nil disables the
+// checks entirely). On cancellation it returns the context's error and a
+// zero result — never a partial match list.
+func KMPSearchContext(ctx interface{ Err() error }, pat, text string, trace bool) (KMPResult, error) {
 	var res KMPResult
 	m, n := len(pat), len(text)
 	if m == 0 || n < m {
-		return res
+		return res, nil
 	}
 	next := KMPNext(pat)
 	border := borders(pat)[m] // longest proper border of the full pattern
 	i, j := 1, 1
 	for i <= n {
 		res.Comparisons++
+		if ctx != nil && res.Comparisons&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return KMPResult{}, err
+			}
+		}
 		if trace {
 			res.Path = append(res.Path, PathPoint{I: i, J: j})
 		}
@@ -95,7 +109,7 @@ func KMPSearch(pat, text string, trace bool) KMPResult {
 			j = 1
 		}
 	}
-	return res
+	return res, nil
 }
 
 // NaiveStringSearch is the baseline the paper's §3.1 contrasts with KMP:

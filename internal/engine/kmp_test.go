@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -190,4 +191,34 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestKMPSearchContext: a canceled context stops the search with its
+// error and a zero result — never a partial match list — while a live
+// context leaves the result identical to the uncancellable search.
+func TestKMPSearchContext(t *testing.T) {
+	pat, text := "aab", strings.Repeat("aab", 40_000)
+	ref := KMPSearch(pat, text, false)
+	if len(ref.Matches) == 0 {
+		t.Fatal("reference search found nothing")
+	}
+
+	live, err := KMPSearchContext(context.Background(), pat, text, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Matches) != len(ref.Matches) || live.Comparisons != ref.Comparisons {
+		t.Fatalf("context search diverged: %d matches / %d comparisons, want %d / %d",
+			len(live.Matches), live.Comparisons, len(ref.Matches), ref.Comparisons)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := KMPSearchContext(ctx, pat, text, false)
+	if err == nil {
+		t.Fatal("canceled search returned no error")
+	}
+	if len(got.Matches) != 0 || got.Comparisons != 0 {
+		t.Fatalf("canceled search leaked a partial result: %+v", got)
+	}
 }

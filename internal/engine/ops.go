@@ -126,6 +126,7 @@ func (o *OPS) findAllPlain(seq []storage.Row) ([]Match, Stats) {
 		}
 		// Mismatch at (i, j): apply the shift/next tables.
 		o.stats.Rollbacks++
+		mustFire(faultOPSShift)
 		sh, nx := o.shiftNext(j)
 		i = i - j + sh + nx
 		j = nx
@@ -216,6 +217,7 @@ func (o *OPS) findAllStar(seq []storage.Row) ([]Match, Stats) {
 		// current element has consumed nothing, so i sits at the start of
 		// element j's would-be span.
 		o.stats.Rollbacks++
+		mustFire(faultOPSShift)
 		if o.cfg.NoCounters {
 			restart(i - count[j-1] + 1)
 			continue

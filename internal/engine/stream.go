@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sqlts/internal/core"
+	"sqlts/internal/fault"
 	"sqlts/internal/pattern"
 	"sqlts/internal/storage"
 )
@@ -62,6 +63,10 @@ type Streamer struct {
 	closed       bool
 
 	pruned int64 // rows dropped from the retained window so far
+
+	// check is the cooperative cancellation checkpoint (SetInterrupt),
+	// consulted every checkpointMask+1 predicate evaluations.
+	check func() error
 }
 
 // NewStreamer builds an incremental matcher for the pattern. emit is
@@ -100,8 +105,22 @@ func (s *Streamer) UseKernel(k *pattern.Kernel) {
 	s.proj.AppendRows(s.buf)
 }
 
+// SetInterrupt installs a cooperative cancellation checkpoint, consulted
+// once every 1024 predicate evaluations. A non-nil error unwinds the
+// machine with an Interrupt panic, which Push recovers into its error
+// return (a mid-Flush interrupt propagates to Flush's caller).
+func (s *Streamer) SetInterrupt(check func() error) { s.check = check }
+
 func (s *Streamer) evalAt(j, i int) bool {
 	s.stats.PredEvals++
+	if s.stats.PredEvals&checkpointMask == 0 && (s.check != nil || fault.Active()) {
+		mustFire(faultEval)
+		if s.check != nil {
+			if err := s.check(); err != nil {
+				panic(Interrupt{Err: err})
+			}
+		}
+	}
 	s.ctx.Seq = s.buf
 	s.ctx.Pos = i - 1 - s.base
 	if s.kern != nil {
@@ -133,18 +152,54 @@ func (s *Streamer) matchStart() int {
 }
 
 // Push appends one tuple and advances the machine as far as the input
-// allows, emitting any matches that complete.
+// allows, emitting any matches that complete. An installed interrupt
+// (SetInterrupt) or armed engine fault surfaces as Push's error; the
+// machine state is then mid-attempt and the stream should be abandoned.
 func (s *Streamer) Push(row storage.Row) error {
 	if s.closed {
 		return fmt.Errorf("engine: Push after Flush")
 	}
+	// With no interrupt installed and no armed fault, nothing in the
+	// machine can raise an Interrupt — skip the recover frame (its cost
+	// is per push, and pushes are µs-scale). Genuine predicate panics
+	// propagate to the caller's containment boundary either way.
+	if s.check == nil && !fault.Active() {
+		s.advance(row)
+		return nil
+	}
+	return s.pushChecked(row)
+}
+
+func (s *Streamer) pushChecked(row storage.Row) (err error) {
+	if e := faultStreamPush.Fire(); e != nil {
+		return e
+	}
+	if s.check != nil {
+		if e := s.check(); e != nil {
+			return e
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			in, ok := r.(Interrupt)
+			if !ok {
+				panic(r)
+			}
+			err = in.Err
+		}
+	}()
+	s.advance(row)
+	return nil
+}
+
+// advance appends the tuple and runs the machine as far as it will go.
+func (s *Streamer) advance(row storage.Row) {
 	s.buf = append(s.buf, row)
 	if s.kern != nil {
 		s.proj.AppendRow(row)
 	}
 	s.drain()
 	s.prune()
-	return nil
 }
 
 // PushAll pushes a batch of tuples.

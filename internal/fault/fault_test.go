@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	p := New("test.noop")
+	for i := 0; i < 100; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("disarmed Fire returned %v", err)
+		}
+	}
+	if p.Fired() != 0 {
+		t.Fatalf("disarmed point fired %d times", p.Fired())
+	}
+}
+
+func TestArmError(t *testing.T) {
+	defer Reset()
+	p := New("test.err")
+	boom := errors.New("boom")
+	if err := Arm("test.err", Action{Err: boom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fire(); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	Disarm("test.err")
+	if err := p.Fire(); err != nil {
+		t.Fatalf("Fire after Disarm = %v", err)
+	}
+}
+
+func TestAfterTimes(t *testing.T) {
+	defer Reset()
+	p := New("test.window")
+	boom := errors.New("boom")
+	if err := Arm("test.window", Action{Err: boom, After: 2, Times: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, p.Fire() != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d injected=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if p.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", p.Fired())
+	}
+}
+
+func TestRearmRestartsCounting(t *testing.T) {
+	defer Reset()
+	p := New("test.rearm")
+	boom := errors.New("boom")
+	if err := Arm("test.rearm", Action{Err: boom, After: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.Fire() // consumes the skipped hit
+	if err := p.Fire(); !errors.Is(err, boom) {
+		t.Fatal("second hit should inject")
+	}
+	if err := Arm("test.rearm", Action{Err: boom, After: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fire(); err != nil {
+		t.Fatal("re-arm must restart the After window")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	p := New("test.panic")
+	if err := Arm("test.panic", Action{Panic: "kaboom"}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recover = %v, want kaboom", r)
+		}
+	}()
+	p.Fire()
+	t.Fatal("unreachable")
+}
+
+func TestFnAndDelay(t *testing.T) {
+	defer Reset()
+	p := New("test.fn")
+	var calls int
+	if err := Arm("test.fn", Action{Delay: time.Millisecond, Fn: func() error { calls++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := p.Fire(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("Fn calls = %d", calls)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+}
+
+func TestArmUnknown(t *testing.T) {
+	if err := Arm("test.never-declared", Action{}); err == nil {
+		t.Fatal("Arm of unknown point must error")
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	p := New("test.concurrent")
+	if err := Arm("test.concurrent", Action{Err: errors.New("x"), After: 50}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Fire()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Fired() != 8*1000-50 {
+		t.Fatalf("Fired = %d, want %d", p.Fired(), 8*1000-50)
+	}
+}

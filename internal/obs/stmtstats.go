@@ -130,6 +130,22 @@ func (h *LatencyHist) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// ErrClass classifies a failed execution for per-statement accounting.
+// The classes mirror the caller's typed error taxonomy without importing
+// its error values.
+type ErrClass uint8
+
+// Error classes. ErrOther is every failure outside the lifecycle
+// taxonomy (analysis errors, missing tables, predicate type errors).
+const (
+	ErrOther ErrClass = iota
+	ErrCanceled
+	ErrDeadline
+	ErrBudget
+	ErrPanic
+	ErrRejected
+)
+
 // QueryObs carries one finished query execution into the store: plain
 // integers so the caller's engine types stay out of this package.
 type QueryObs struct {
@@ -139,6 +155,7 @@ type QueryObs struct {
 	PredEvals       int64
 	Rollbacks       int64
 	Matches         int64
+	AdmissionWaitNs int64
 	PlanCached      bool
 	PartitionCached bool
 	// Kernel reports whether compiled predicate kernels evaluated probes
@@ -158,6 +175,12 @@ type StmtStats struct {
 
 	calls     atomic.Int64
 	errors    atomic.Int64
+	canceled  atomic.Int64
+	deadline  atomic.Int64
+	budget    atomic.Int64
+	panics    atomic.Int64
+	rejected  atomic.Int64
+	admWaitNs atomic.Int64
 	rows      atomic.Int64
 	scanned   atomic.Int64
 	predEvals atomic.Int64
@@ -223,15 +246,38 @@ func (s *StmtStats) RecordQuery(o QueryObs) {
 		s.optCalls.Add(1)
 		s.optPredEvals.Add(o.PredEvals)
 	}
+	s.admWaitNs.Add(o.AdmissionWaitNs)
 	s.lat.Observe(o.DurNs)
 }
 
-// RecordError counts one failed execution.
-func (s *StmtStats) RecordError() {
+// RecordError counts one failed execution under its class.
+func (s *StmtStats) RecordError(c ErrClass) {
 	if s == nil {
 		return
 	}
 	s.errors.Add(1)
+	switch c {
+	case ErrCanceled:
+		s.canceled.Add(1)
+	case ErrDeadline:
+		s.deadline.Add(1)
+	case ErrBudget:
+		s.budget.Add(1)
+	case ErrPanic:
+		s.panics.Add(1)
+	case ErrRejected:
+		s.rejected.Add(1)
+	}
+}
+
+// RecordAdmissionWait accumulates queue-wait time for an execution that
+// did not finish (rejected or canceled while waiting); successful runs
+// carry their wait in QueryObs.AdmissionWaitNs instead.
+func (s *StmtStats) RecordAdmissionWait(ns int64) {
+	if s == nil {
+		return
+	}
+	s.admWaitNs.Add(ns)
 }
 
 // RecordPush folds one stream push into the entry: rows pruned from the
@@ -300,6 +346,14 @@ type StmtSnapshot struct {
 	Calls  int64  `json:"calls"`
 	Errors int64  `json:"errors,omitempty"`
 
+	// Error-class breakdown (subsets of Errors).
+	Canceled          int64 `json:"canceled,omitempty"`
+	DeadlineExceeded  int64 `json:"deadline_exceeded,omitempty"`
+	BudgetExceeded    int64 `json:"budget_exceeded,omitempty"`
+	Panics            int64 `json:"panics,omitempty"`
+	AdmissionRejected int64 `json:"admission_rejected,omitempty"`
+	AdmissionWaitNs   int64 `json:"admission_wait_ns,omitempty"`
+
 	Rows        int64 `json:"rows"`
 	RowsScanned int64 `json:"rows_scanned"`
 	PredEvals   int64 `json:"pred_evals"`
@@ -345,6 +399,13 @@ func (s *StmtStats) Snapshot() StmtSnapshot {
 		SQL:    s.key,
 		Calls:  s.calls.Load(),
 		Errors: s.errors.Load(),
+
+		Canceled:          s.canceled.Load(),
+		DeadlineExceeded:  s.deadline.Load(),
+		BudgetExceeded:    s.budget.Load(),
+		Panics:            s.panics.Load(),
+		AdmissionRejected: s.rejected.Load(),
+		AdmissionWaitNs:   s.admWaitNs.Load(),
 
 		Rows:        s.rows.Load(),
 		RowsScanned: s.scanned.Load(),

@@ -98,7 +98,7 @@ func TestStmtStoreBasics(t *testing.T) {
 	}
 	a.RecordQuery(QueryObs{DurNs: 1000, Rows: 2, PredEvals: 7, PlanCached: true, Kernel: true})
 	a.RecordQuery(QueryObs{DurNs: 3000, Rows: 1, PredEvals: 3, Naive: true})
-	a.RecordError()
+	a.RecordError(ErrOther)
 	snap := a.Snapshot()
 	if snap.Calls != 2 || snap.Errors != 1 || snap.Rows != 3 || snap.PredEvals != 10 {
 		t.Errorf("snapshot counters wrong: %+v", snap)
@@ -165,7 +165,7 @@ func TestStmtStoreCapacityAndOverflow(t *testing.T) {
 	// Nil entries are safe to use.
 	var nilEntry *StmtStats
 	nilEntry.RecordQuery(QueryObs{})
-	nilEntry.RecordError()
+	nilEntry.RecordError(ErrOther)
 	nilEntry.RecordPush(1, 1)
 	nilEntry.RecordPushMatch()
 	nilEntry.StreamOpened()

@@ -7,48 +7,60 @@ import (
 	"os"
 )
 
-// ReadCSV loads rows from r into a new table. The first record must be a
+// ReadCSVRows parses rows from r against the schema without touching any
+// table — the staging half of a CSV load. The first record must be a
 // header naming the columns; column types are taken from schema, matched
 // by header name (so the CSV column order may differ from the schema).
-func ReadCSV(name string, schema *Schema, r io.Reader) (*Table, error) {
+// On any error nothing is returned, so callers commit all-or-nothing.
+func ReadCSVRows(schema *Schema, r io.Reader) ([]Row, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("storage: csv %s: read header: %w", name, err)
+		return nil, fmt.Errorf("read header: %w", err)
 	}
 	colOf := make([]int, len(header))
 	for i, h := range header {
 		ci, ok := schema.ColumnIndex(h)
 		if !ok {
-			return nil, fmt.Errorf("storage: csv %s: unknown column %q", name, h)
+			return nil, fmt.Errorf("unknown column %q", h)
 		}
 		colOf[i] = ci
 	}
-	t := NewTable(name, schema)
+	var rows []Row
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("storage: csv %s line %d: %w", name, line, err)
+			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("storage: csv %s line %d: %d fields, want %d", name, line, len(rec), len(header))
+			return nil, fmt.Errorf("line %d: %d fields, want %d", line, len(rec), len(header))
 		}
 		row := make(Row, schema.Len())
 		for i, field := range rec {
 			v, err := ParseValue(field, schema.Columns[colOf[i]].Type)
 			if err != nil {
-				return nil, fmt.Errorf("storage: csv %s line %d: %w", name, line, err)
+				return nil, fmt.Errorf("line %d: %w", line, err)
 			}
 			row[colOf[i]] = v
 		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, row)
 	}
-	// One version bump for the whole load: the table was built
-	// single-threaded, so per-row locking would buy nothing.
+	return rows, nil
+}
+
+// ReadCSV loads rows from r into a new table: ReadCSVRows staging plus a
+// single commit (one version bump for the whole load).
+func ReadCSV(name string, schema *Schema, r io.Reader) (*Table, error) {
+	rows, err := ReadCSVRows(schema, r)
+	if err != nil {
+		return nil, fmt.Errorf("storage: csv %s: %w", name, err)
+	}
+	t := NewTable(name, schema)
+	t.Rows = rows
 	t.bump()
 	return t, nil
 }

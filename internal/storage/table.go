@@ -93,12 +93,12 @@ func NewTable(name string, schema *Schema) *Table {
 	return &Table{Name: name, Schema: schema}
 }
 
-// Insert appends a row after validating arity and types. Ints widen to
-// float columns (and integral floats narrow to int columns) automatically.
-// Each successful Insert bumps the table version.
-func (t *Table) Insert(vals ...Value) error {
+// coerceRow validates arity and types of one row, returning a fresh
+// coerced copy. Ints widen to float columns (and integral floats narrow
+// to int columns) automatically.
+func (t *Table) coerceRow(vals []Value) (Row, error) {
 	if len(vals) != t.Schema.Len() {
-		return fmt.Errorf("storage: %s: insert arity %d, want %d", t.Name, len(vals), t.Schema.Len())
+		return nil, fmt.Errorf("storage: %s: insert arity %d, want %d", t.Name, len(vals), t.Schema.Len())
 	}
 	row := make(Row, len(vals))
 	for i, v := range vals {
@@ -110,14 +110,46 @@ func (t *Table) Insert(vals ...Value) error {
 		if v.Type() != want {
 			cv, err := v.Coerce(want)
 			if err != nil {
-				return fmt.Errorf("storage: %s.%s: %w", t.Name, t.Schema.Columns[i].Name, err)
+				return nil, fmt.Errorf("storage: %s.%s: %w", t.Name, t.Schema.Columns[i].Name, err)
 			}
 			v = cv
 		}
 		row[i] = v
 	}
+	return row, nil
+}
+
+// Insert appends a row after validating arity and types. Each successful
+// Insert bumps the table version.
+func (t *Table) Insert(vals ...Value) error {
+	row, err := t.coerceRow(vals)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	t.Rows = append(t.Rows, row)
+	t.version++
+	t.mu.Unlock()
+	return nil
+}
+
+// InsertBatch appends rows all-or-nothing: every row is validated and
+// coerced into a staging slice first, and only then is the whole batch
+// appended under one lock with a single version bump. On error the
+// table's rows and version are untouched, so a failed bulk load never
+// leaves a half-applied state (or spuriously invalidates caches keyed
+// on the version).
+func (t *Table) InsertBatch(rows []Row) error {
+	staged := make([]Row, len(rows))
+	for i, r := range rows {
+		row, err := t.coerceRow(r)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		staged[i] = row
+	}
+	t.mu.Lock()
+	t.Rows = append(t.Rows, staged...)
 	t.version++
 	t.mu.Unlock()
 	return nil

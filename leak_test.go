@@ -1,0 +1,91 @@
+package sqlts
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sqlts/internal/fault"
+	"sqlts/internal/storage"
+	"sqlts/internal/testutil"
+)
+
+// TestRuntimeSamplerNoLeak: stop() is synchronous — the sampler
+// goroutine is gone the moment it returns, and stopping twice is safe.
+func TestRuntimeSamplerNoLeak(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	db := New()
+	stop := db.StartRuntimeSampler(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+}
+
+// TestParallelErrorNoLeak: a worker failing (injected error and panic)
+// must not strand the other workers — every goroutine exits even though
+// the dispatch loop stops early.
+func TestParallelErrorNoLeak(t *testing.T) {
+	defer fault.Reset()
+	defer testutil.LeakCheck(t)()
+	db := quoteDB(t)
+	for s := 0; s < 16; s++ {
+		insertSeries(t, db, string(rune('A'+s)), 10000, 60, 70, 55, 56, 58, 61, 50, 66)
+	}
+	q, err := db.Prepare(`
+		SELECT X.name FROM quote
+		  CLUSTER BY name SEQUENCE BY date
+		  AS (X, Y)
+		WHERE Y.price > 1.1 * X.price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range []fault.Action{
+		{Err: errors.New("worker failure")},
+		{Panic: "worker panic"},
+	} {
+		if err := fault.Arm("sqlts.parallel.worker", act); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.RunWith(RunOptions{Parallel: true}); err == nil {
+			t.Fatal("injected worker failure did not surface")
+		}
+		fault.Reset()
+		// And the query still works after.
+		if _, err := q.RunWith(RunOptions{Parallel: true}); err != nil {
+			t.Fatalf("run after injected failure: %v", err)
+		}
+	}
+}
+
+// TestStreamLifecycleNoLeak: open/push/close leaves no goroutines and
+// drains the stream gauges.
+func TestStreamLifecycleNoLeak(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	db := quoteDB(t)
+	for i := 0; i < 4; i++ {
+		st, err := db.Stream(`
+			SELECT X.name FROM quote
+			  CLUSTER BY name SEQUENCE BY date
+			  AS (X, Y)
+			WHERE Y.price > 1.1 * X.price`,
+			StreamOptions{},
+			func(storage.Row) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < 10; d++ {
+			if err := st.Push(storage.NewString("A"), storage.NewDateDays(int64(d)), storage.NewFloat(float64(10+d%4))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g := db.metrics.streamsOpen.Value(); g != 0 {
+		t.Fatalf("streams_open = %d; want 0", g)
+	}
+	if g := db.metrics.streamClusters.Value(); g != 0 {
+		t.Fatalf("stream_active_clusters = %d; want 0", g)
+	}
+}

@@ -1,0 +1,86 @@
+package sqlts
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts/internal/storage"
+)
+
+// TestLoadCSVAtomicIntoExisting: loading a CSV into an existing table
+// either appends every row or none. A failing row mid-file must leave
+// the table's rows AND version untouched — a half-applied load would
+// poison the version-keyed partition cache with phantom state.
+func TestLoadCSVAtomicIntoExisting(t *testing.T) {
+	schema := storage.MustSchema(
+		storage.Column{Name: "date", Type: storage.TypeDate},
+		storage.Column{Name: "price", Type: storage.TypeFloat},
+	)
+	db := New()
+	good := "date,price\n1999-01-25,60\n1999-01-26,63.5\n"
+	if err := db.LoadCSV("djia", schema, strings.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("djia")
+	rowsBefore, verBefore := tbl.Snapshot()
+
+	// Row 1 is fine, row 2 has an unparsable price: nothing may commit.
+	bad := "date,price\n1999-01-27,70\n1999-01-28,not-a-price\n"
+	err := db.LoadCSV("djia", schema, strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("LoadCSV with a bad row must fail")
+	}
+	if !strings.Contains(err.Error(), "djia") {
+		t.Errorf("error %q does not name the table", err)
+	}
+	rowsAfter, verAfter := tbl.Snapshot()
+	if len(rowsAfter) != len(rowsBefore) {
+		t.Fatalf("failed load left %d rows; want %d (unchanged)", len(rowsAfter), len(rowsBefore))
+	}
+	if verAfter != verBefore {
+		t.Fatalf("failed load bumped version %d -> %d; want unchanged", verBefore, verAfter)
+	}
+
+	// A valid follow-up load commits all rows with exactly one version
+	// bump (one batch, one invalidation of the partition cache).
+	more := "date,price\n1999-01-27,70\n1999-01-28,71\n"
+	if err := db.LoadCSV("djia", schema, strings.NewReader(more)); err != nil {
+		t.Fatal(err)
+	}
+	rowsFinal, verFinal := tbl.Snapshot()
+	if len(rowsFinal) != len(rowsBefore)+2 {
+		t.Fatalf("rows = %d; want %d", len(rowsFinal), len(rowsBefore)+2)
+	}
+	if verFinal != verBefore+1 {
+		t.Fatalf("version %d -> %d; want exactly one bump", verBefore, verFinal)
+	}
+	res, err := db.Query(`SELECT price FROM djia WHERE price > 69`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("query after load: %d rows, want 2", len(res.Rows))
+	}
+}
+
+// TestLoadCSVBadHeader: a header mismatch against the existing table's
+// schema fails before anything is staged.
+func TestLoadCSVBadHeader(t *testing.T) {
+	schema := storage.MustSchema(
+		storage.Column{Name: "date", Type: storage.TypeDate},
+		storage.Column{Name: "price", Type: storage.TypeFloat},
+	)
+	db := New()
+	if err := db.LoadCSV("djia", schema, strings.NewReader("date,price\n1999-01-25,60\n")); err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("djia")
+	_, verBefore := tbl.Snapshot()
+	err := db.LoadCSV("djia", schema, strings.NewReader("date,cost\n1999-01-26,61\n"))
+	if err == nil {
+		t.Fatal("LoadCSV with an unknown column must fail")
+	}
+	if _, ver := tbl.Snapshot(); ver != verBefore {
+		t.Fatalf("bad header bumped version")
+	}
+}

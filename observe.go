@@ -1,6 +1,8 @@
 package sqlts
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -25,6 +27,14 @@ type dbMetrics struct {
 	clustersScanned *obs.Counter
 	slowQueries     *obs.Counter
 	queryDuration   *obs.Histogram
+
+	queriesCanceled   *obs.Counter
+	queriesDeadline   *obs.Counter
+	queriesBudget     *obs.Counter
+	queryPanics       *obs.Counter
+	admissionWaiting  *obs.Gauge
+	admissionRejected *obs.Counter
+	admissionWait     *obs.Histogram
 
 	streamPushes       *obs.Counter
 	streamMatches      *obs.Counter
@@ -73,6 +83,20 @@ func newDBMetrics() *dbMetrics {
 			"Queries exceeding the configured slow-query threshold."),
 		queryDuration: reg.Histogram("sqlts_query_duration_seconds",
 			"Per-query execution latency.", nil),
+		queriesCanceled: reg.Counter("sqlts_queries_canceled_total",
+			"Executions stopped by context cancellation."),
+		queriesDeadline: reg.Counter("sqlts_query_deadline_exceeded_total",
+			"Executions stopped by a deadline (context or RunOptions.Deadline)."),
+		queriesBudget: reg.Counter("sqlts_query_budget_exceeded_total",
+			"Executions stopped by a resource budget (MaxMatches, MaxRowsScanned)."),
+		queryPanics: reg.Counter("sqlts_query_panics_total",
+			"Predicate/executor panics contained at the query boundary."),
+		admissionWaiting: reg.Gauge("sqlts_admission_waiting",
+			"Executions currently queued for an admission slot."),
+		admissionRejected: reg.Counter("sqlts_admission_rejected_total",
+			"Executions rejected after waiting the admission timeout."),
+		admissionWait: reg.Histogram("sqlts_admission_wait_seconds",
+			"Queue wait of executions that were admitted after waiting.", nil),
 		streamPushes: reg.Counter("sqlts_stream_pushes_total",
 			"Tuples pushed into continuous queries."),
 		streamMatches: reg.Counter("sqlts_stream_matches_total",
@@ -149,10 +173,56 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration, fn func(SlowQueryInfo)) {
 	db.slowFn = fn
 }
 
+// failRun records one failed execution: the error counter, the typed
+// error-class breakdown (metrics + statement stats), and — for contained
+// panics — the panic counter and a slow-log record carrying the captured
+// stack.
+func (db *DB) failRun(q *Query, opts RunOptions, err error, admWait time.Duration) {
+	m := db.metrics
+	m.queryErrors.Inc()
+	class := classifyError(err)
+	switch class {
+	case obs.ErrCanceled:
+		m.queriesCanceled.Inc()
+	case obs.ErrDeadline:
+		m.queriesDeadline.Inc()
+	case obs.ErrBudget:
+		m.queriesBudget.Inc()
+	case obs.ErrPanic:
+		m.queryPanics.Inc()
+	case obs.ErrRejected:
+		m.admissionRejected.Inc()
+	}
+	entry := db.stmts.Get(q.plan.key)
+	entry.RecordError(class)
+	entry.RecordAdmissionWait(admWait.Nanoseconds())
+	if class == obs.ErrPanic {
+		db.recordPanic(q, opts, err, entry)
+	}
+}
+
+// recordPanic lands a contained panic in the slow-query log (whatever
+// the threshold: a panic is always worth retaining) with the captured
+// stack as the record's report.
+func (db *DB) recordPanic(q *Query, opts RunOptions, err error, entry *obs.StmtStats) {
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		return
+	}
+	traceID := db.retainTrace(q, entry, true)
+	db.slow.add(SlowQueryRecord{
+		TraceID:  traceID,
+		Time:     time.Now(),
+		SQL:      q.plan.sql,
+		Executor: opts.Executor.String(),
+		Report:   fmt.Sprintf("panic: %v\n\n%s", pe.Value, pe.Stack),
+	})
+}
+
 // observeRun records one finished execution in the metrics registry and
 // the statement-stats store, samples the lifecycle trace, and feeds the
 // slow-query log and hook.
-func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, dur time.Duration) {
+func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, dur, admWait time.Duration) {
 	m := db.metrics
 	m.queries.Inc()
 	m.rowsScanned.Add(int64(scanned))
@@ -173,6 +243,7 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 		PredEvals:       res.Stats.PredEvals,
 		Rollbacks:       res.Stats.Rollbacks,
 		Matches:         int64(res.Stats.Matches),
+		AdmissionWaitNs: admWait.Nanoseconds(),
 		PlanCached:      q.planCached,
 		PartitionCached: res.partitionCached,
 		Kernel:          !opts.NoKernel && q.plan.kernel != nil && q.plan.kernel.CompiledElems() > 0,

@@ -27,9 +27,11 @@
 package sqlts
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -39,10 +41,19 @@ import (
 	"sqlts/internal/constraint"
 	"sqlts/internal/core"
 	"sqlts/internal/engine"
+	"sqlts/internal/fault"
 	"sqlts/internal/obs"
 	"sqlts/internal/pattern"
 	"sqlts/internal/query"
 	"sqlts/internal/storage"
+)
+
+// Fault-injection sites on the serving path (see internal/fault and the
+// engine.* sites): the serial per-cluster boundary and the parallel
+// worker body.
+var (
+	faultExecCluster = fault.New("sqlts.execute.cluster")
+	faultWorker      = fault.New("sqlts.parallel.worker")
 )
 
 // DB is an in-memory sequence database: a set of named tables plus
@@ -79,6 +90,10 @@ type DB struct {
 	slowMu        sync.Mutex
 	slowThreshold time.Duration
 	slowFn        func(SlowQueryInfo)
+
+	// admit is the concurrent-query admission gate (admission.go);
+	// unlimited until SetMaxConcurrentQueries.
+	admit admission
 }
 
 // New creates an empty database.
@@ -204,9 +219,23 @@ func (db *DB) TableNames() []string {
 	return out
 }
 
-// LoadCSV reads CSV data (header row required) into a new table with the
-// given schema and registers it.
+// LoadCSV reads CSV data (header row required) into the named table: a
+// new table with the given schema when none exists, otherwise appended
+// to the existing one. The load is all-or-nothing either way — rows are
+// staged fully before a single batch commit (one version bump), so a
+// mid-file parse error leaves the table's contents and data version
+// untouched and never invalidates warm partition caches.
 func (db *DB) LoadCSV(name string, schema *storage.Schema, r io.Reader) error {
+	if t := db.Table(name); t != nil {
+		rows, err := storage.ReadCSVRows(t.Schema, r)
+		if err != nil {
+			return fmt.Errorf("sqlts: csv %s: %w", name, err)
+		}
+		if err := t.InsertBatch(rows); err != nil {
+			return fmt.Errorf("sqlts: csv %s: %w", name, err)
+		}
+		return nil
+	}
 	t, err := storage.ReadCSV(name, schema, r)
 	if err != nil {
 		return err
@@ -303,6 +332,24 @@ type RunOptions struct {
 	// For cold-vs-warm measurement and differential tests; results are
 	// identical either way.
 	NoCache bool
+
+	// Context, when non-nil, cancels the run cooperatively: executors
+	// consult it at amortized checkpoints (every 1024 predicate
+	// evaluations) and at every cluster boundary. A canceled run returns
+	// ErrCanceled (or ErrDeadlineExceeded) and no partial Result.
+	Context context.Context
+	// Deadline bounds this run's wall-clock time, layered on top of
+	// Context (0 = none).
+	Deadline time.Duration
+	// MaxMatches aborts the run with ErrBudgetExceeded once more than
+	// this many matches have been found (0 = unlimited). The bound is
+	// checked at cluster boundaries, so the overshoot is at most one
+	// cluster's matches.
+	MaxMatches int64
+	// MaxRowsScanned rejects the run with ErrBudgetExceeded when its
+	// input (the table snapshot, or the clustered partition) exceeds
+	// this many rows (0 = unlimited). Checked before the search starts.
+	MaxRowsScanned int64
 }
 
 // Result is the outcome of a query execution.
@@ -551,6 +598,24 @@ func (db *DB) Query(sql string) (*Result, error) {
 	return q.Run()
 }
 
+// QueryContext is Query under a context: the run is admitted, executed
+// and canceled cooperatively per ctx. See RunOptions.Context for the
+// cancellation semantics and docs/ROBUSTNESS.md for the error taxonomy.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	q, err := db.Prepare(sql)
+	if err != nil {
+		db.metrics.queryErrors.Inc()
+		return nil, err
+	}
+	return q.RunContext(ctx)
+}
+
+// RunContext executes the prepared query under a context with otherwise
+// default options.
+func (q *Query) RunContext(ctx context.Context) (*Result, error) {
+	return q.RunWith(RunOptions{Context: ctx})
+}
+
 // Pattern exposes the compiled pattern (nil for plain SELECTs).
 func (q *Query) Pattern() *pattern.Pattern { return q.plan.compiled.Pattern }
 
@@ -646,15 +711,59 @@ func (q *Query) RunWith(opts RunOptions) (*Result, error) {
 	return q.runMeasured(opts)
 }
 
-// runMeasured executes the query, records the execution span, feeds the
-// metrics registry and fires the slow-query hook.
+// admitContained runs the admission gate inside its own containment
+// boundary: the gate sits outside execute's recover, so an injected (or
+// genuine) panic there would otherwise escape the query lifecycle.
+func (q *Query) admitContained(ctx context.Context) (release func(), wait time.Duration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			release, wait = nil, 0
+			err = &PanicError{Statement: q.plan.key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return q.db.admitQuery(ctx)
+}
+
+// runMeasured executes the query through the full lifecycle — deadline
+// setup, admission, cooperative execution — records the execution span,
+// feeds the metrics registry and fires the slow-query hook. Failures of
+// every class (cancellation, deadline, budget, contained panic,
+// admission rejection, plain errors) are accounted by failRun.
 func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
+	ctx := opts.Context
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = deadlineContext(ctx, opts.Deadline)
+		defer cancel()
+	}
+	rc := newRunControl(ctx, opts)
+	// Entry checkpoint: an already-expired context fails deterministically
+	// before any work (or queueing) happens.
+	if err := rc.check(); err != nil {
+		q.db.failRun(q, opts, err, 0)
+		return nil, err
+	}
+	// The admission gate (and its trace span) is taken only when a bound
+	// is configured or the sqlts.admission fault point is armed: an
+	// unlimited DB pays one atomic load per run, not a span allocation.
+	var admWait time.Duration
+	if q.db.admit.on.Load() || fault.Active() {
+		sp := q.trace.Start("admission")
+		release, wait, err := q.admitContained(ctx)
+		sp.Annotate("wait", wait.Round(time.Microsecond).String()).End()
+		admWait = wait
+		if err != nil {
+			q.db.failRun(q, opts, err, admWait)
+			return nil, err
+		}
+		defer release()
+	}
+
 	sp := q.trace.Start("execute")
-	res, scanned, err := q.execute(opts)
+	res, scanned, err := q.execute(rc, opts)
 	if err != nil {
 		sp.End()
-		q.db.metrics.queryErrors.Inc()
-		q.db.stmts.Get(q.plan.key).RecordError()
+		q.db.failRun(q, opts, err, admWait)
 		return nil, err
 	}
 	res.planCached = q.planCached
@@ -666,7 +775,7 @@ func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
 		Annotate("partition", cachedWord(res.partitionCached)).
 		Annotate("stats", res.Stats.String()).
 		End()
-	q.db.observeRun(q, opts, res, scanned, sp.Duration)
+	q.db.observeRun(q, opts, res, scanned, sp.Duration, admWait)
 	return res, nil
 }
 
@@ -680,14 +789,31 @@ func cachedWord(hit bool) string {
 
 // execute is the raw execution path: no tracing, no metrics. EXPLAIN
 // ANALYZE uses it directly for the naive-comparison run so diagnostics
-// don't inflate the serving counters.
-func (q *Query) execute(opts RunOptions) (*Result, int, error) {
+// don't inflate the serving counters. It is also the panic-containment
+// boundary: an engine.Interrupt unwind becomes its typed error, and any
+// other panic — a predicate bug, an injected fault — becomes a
+// *PanicError carrying the statement key and the captured stack, never
+// a partial Result. rc may be nil (an unconstrained run).
+func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, scanned = nil, 0
+			if in, ok := r.(engine.Interrupt); ok {
+				err = in.Err
+				return
+			}
+			err = &PanicError{Statement: q.plan.key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := rc.check(); err != nil {
+		return nil, 0, err
+	}
 	compiled := q.plan.compiled
 	t := q.db.Table(compiled.Table)
 	if t == nil {
 		return nil, 0, fmt.Errorf("sqlts: table %q disappeared", compiled.Table)
 	}
-	res := &Result{
+	res = &Result{
 		Columns: append([]string(nil), compiled.OutNames...),
 		Types:   append([]storage.Type(nil), compiled.OutTypes...),
 	}
@@ -697,7 +823,15 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 
 	if compiled.Pattern == nil {
 		rows, _ := t.Snapshot()
-		for _, row := range rows {
+		if err := rc.checkScanned(len(rows)); err != nil {
+			return nil, 0, err
+		}
+		for ri, row := range rows {
+			if rc != nil && ri&1023 == 1023 {
+				if err := rc.check(); err != nil {
+					return nil, 0, err
+				}
+			}
 			out, ok, err := compiled.EvalPlainRow(row)
 			if err != nil {
 				return nil, 0, err
@@ -714,6 +848,9 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 		return nil, 0, err
 	}
 	clusters, scanned := part.clusters, part.rows
+	if err := rc.checkScanned(scanned); err != nil {
+		return nil, 0, err
+	}
 	res.partitionCached = cached
 	// Reuse the partition's memoized columnar projections (built on the
 	// first execution of this plan over it): warm runs skip the per-run
@@ -732,11 +869,20 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 		q.pathMu.Unlock()
 	}
 	if opts.Parallel && !opts.Trace && len(clusters) > 1 {
-		out, err := q.runParallel(res, clusters, projs, opts, policy)
+		out, err := q.runParallel(rc, res, clusters, projs, opts, policy)
 		return out, scanned, err
 	}
 	ex := q.newExecutor(opts, policy)
+	if rc != nil {
+		ex.SetInterrupt(rc.check)
+	}
 	for ci, seq := range clusters {
+		if err := faultExecCluster.Fire(); err != nil {
+			return nil, 0, err
+		}
+		if err := rc.check(); err != nil {
+			return nil, 0, err
+		}
 		if projs != nil {
 			ex.UseProjection(projs[ci])
 		}
@@ -758,6 +904,10 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 			}
 			res.Rows = append(res.Rows, row)
 		}
+		rc.addMatches(stats.Matches)
+	}
+	if err := rc.check(); err != nil {
+		return nil, 0, err
 	}
 	return res, scanned, nil
 }
@@ -765,7 +915,11 @@ func (q *Query) execute(opts RunOptions) (*Result, int, error) {
 // runParallel searches clusters concurrently. Each worker gets its own
 // executor (executors carry per-search state); per-cluster results are
 // stitched back in cluster order so output is identical to serial runs.
-func (q *Query) runParallel(res *Result, clusters [][]storage.Row, projs []*storage.Projection, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
+// Every worker is its own containment boundary: a panic or interrupt in
+// one cluster's search is captured into that cluster's slot, the shared
+// early-stop flag flips, and the remaining workers drain the dispatch
+// channel without starting new clusters — all goroutines always exit.
+func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Row, projs []*storage.Projection, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
 	type clusterOut struct {
 		matches []engine.Match
 		rows    []storage.Row
@@ -780,6 +934,43 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, projs []*stor
 	}
 	var wg sync.WaitGroup
 	var failed atomic.Bool
+	// searchCluster runs one cluster inside its own recover boundary so a
+	// panicking predicate (or injected fault) poisons only its slot.
+	searchCluster := func(ex engine.Executor, ci int) (out clusterOut) {
+		defer func() {
+			if r := recover(); r != nil {
+				if in, ok := r.(engine.Interrupt); ok {
+					out.err = in.Err
+				} else {
+					out.err = &PanicError{Statement: q.plan.key, Value: r, Stack: debug.Stack()}
+				}
+			}
+		}()
+		if err := faultWorker.Fire(); err != nil {
+			out.err = err
+			return out
+		}
+		if err := rc.check(); err != nil {
+			out.err = err
+			return out
+		}
+		seq := clusters[ci]
+		if projs != nil {
+			ex.UseProjection(projs[ci])
+		}
+		ms, stats := ex.FindAll(seq)
+		out.matches, out.stats = ms, stats
+		for _, m := range ms {
+			row, err := compiled.EvalSelect(seq, m.Spans)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			out.rows = append(out.rows, row)
+		}
+		rc.addMatches(stats.Matches)
+		return out
+	}
 	// Buffered to the cluster count so the dispatch loop below never
 	// blocks on slow workers, and can stop early on failure.
 	next := make(chan int, len(clusters))
@@ -788,24 +979,16 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, projs []*stor
 		go func() {
 			defer wg.Done()
 			ex := q.newExecutor(opts, policy)
+			if rc != nil {
+				ex.SetInterrupt(rc.check)
+			}
 			for ci := range next {
 				if failed.Load() {
 					continue
 				}
-				seq := clusters[ci]
-				if projs != nil {
-					ex.UseProjection(projs[ci])
-				}
-				ms, stats := ex.FindAll(seq)
-				out := clusterOut{matches: ms, stats: stats}
-				for _, m := range ms {
-					row, err := compiled.EvalSelect(seq, m.Spans)
-					if err != nil {
-						out.err = err
-						failed.Store(true)
-						break
-					}
-					out.rows = append(out.rows, row)
+				out := searchCluster(ex, ci)
+				if out.err != nil {
+					failed.Store(true)
 				}
 				outs[ci] = out
 			}
@@ -824,6 +1007,11 @@ func (q *Query) runParallel(res *Result, clusters [][]storage.Row, projs []*stor
 		if outs[ci].err != nil {
 			return nil, outs[ci].err
 		}
+	}
+	if err := rc.check(); err != nil {
+		return nil, err
+	}
+	for ci := range outs {
 		res.Stats.Add(outs[ci].stats)
 		res.clusterStats = append(res.clusterStats, ClusterStat{Cluster: ci, Rows: len(clusters[ci]), Stats: outs[ci].stats})
 		if len(outs[ci].matches) > 0 {

@@ -1,7 +1,9 @@
 package sqlts
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -24,6 +26,12 @@ type StreamOptions struct {
 	// NoKernel disables the compiled columnar predicate kernels for this
 	// stream and interprets every probe (see RunOptions.NoKernel).
 	NoKernel bool
+	// Context, when non-nil, cancels the stream cooperatively: Push
+	// checks it on entry and the per-cluster matchers check it at
+	// amortized checkpoints, so even a single Push that triggers a long
+	// match cascade stops promptly. A canceled stream returns
+	// ErrCanceled/ErrDeadlineExceeded from Push/Close.
+	Context context.Context
 }
 
 // Stream is a continuous (push-based) execution of a prepared SQL-TS
@@ -44,11 +52,25 @@ type Stream struct {
 	sinkErr  error
 	closed   bool
 
+	// rc carries the stream's cancellation state (nil without a
+	// Context); failed poisons the stream permanently after a contained
+	// panic — the matcher state is unusable, so every later Push/Close
+	// returns the same PanicError.
+	rc     *runControl
+	failed error
+
 	// entry is the statement-stats bucket pushes and matches accumulate
 	// into (nil when statement tracking is disabled); pushSeq drives the
 	// 1-in-16 push-latency sampling.
 	entry   *obs.StmtStats
 	pushSeq uint64
+
+	// lastCS/lastClu memoize the previous push's cluster: arrivals
+	// usually stay in one cluster for long runs, so comparing the
+	// cluster-by values against the previous row skips the key-string
+	// build and map lookup (the steady-state path's only allocation).
+	lastCS  *clusterStream
+	lastClu storage.Row
 }
 
 type clusterStream struct {
@@ -83,6 +105,7 @@ func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*S
 		tables:   q.plan.streamTabs(),
 		clusters: map[string]*clusterStream{},
 		entry:    q.db.stmts.Get(q.plan.key),
+		rc:       newRunControl(opts.Context, RunOptions{}),
 	}
 	for _, col := range compiled.SequenceBy {
 		i, _ := compiled.Schema.ColumnIndex(col)
@@ -109,15 +132,44 @@ func (db *DB) Stream(sql string, opts StreamOptions, sink func(storage.Row) erro
 	return q.OpenStream(opts, sink)
 }
 
+// contain is the stream's panic-containment boundary, installed with
+// defer around every advance of the matchers. An engine.Interrupt
+// becomes the push's error (the stream stays usable — a later Push under
+// an uncanceled context may proceed); any other panic poisons the stream
+// permanently with a *PanicError carrying the captured stack.
+func (st *Stream) contain(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if in, ok := r.(engine.Interrupt); ok {
+		*err = in.Err
+		return
+	}
+	pe := &PanicError{Statement: st.q.plan.key, Value: r, Stack: debug.Stack()}
+	st.failed = pe
+	st.q.db.metrics.queryPanics.Inc()
+	st.entry.RecordError(obs.ErrPanic)
+	*err = pe
+}
+
 // Push delivers one tuple (in table column order). It returns the first
-// sink error, an ordering violation, or a schema mismatch.
-func (st *Stream) Push(vals ...storage.Value) error {
+// sink error, an ordering violation, a schema mismatch, the context's
+// typed cancellation error, or the PanicError that poisoned the stream.
+func (st *Stream) Push(vals ...storage.Value) (err error) {
 	if st.closed {
 		return fmt.Errorf("sqlts: Push on a closed stream")
+	}
+	if st.failed != nil {
+		return st.failed
 	}
 	if st.sinkErr != nil {
 		return st.sinkErr
 	}
+	if e := st.rc.check(); e != nil {
+		return e
+	}
+	defer st.contain(&err)
 	schema := st.q.plan.compiled.Schema
 	if len(vals) != schema.Len() {
 		return fmt.Errorf("sqlts: Push arity %d, want %d", len(vals), schema.Len())
@@ -146,13 +198,18 @@ func (st *Stream) Push(vals ...storage.Value) error {
 	if sampled {
 		pushStart = time.Now()
 	}
-	key := st.clusterKey(row)
-	cs := st.clusters[key]
-	if cs == nil {
-		cs = st.newClusterStream()
-		st.clusters[key] = cs
-		m.streamClusters.Inc()
+	cs := st.lastCS
+	if cs == nil || !sameCluster(st.lastClu, row, st.cluIdx) {
+		key := st.clusterKey(row)
+		cs = st.clusters[key]
+		if cs == nil {
+			cs = st.newClusterStream()
+			st.clusters[key] = cs
+			m.streamClusters.Inc()
+		}
+		st.lastCS = cs
 	}
+	st.lastClu = row
 	// Enforce SEQUENCE BY arrival order within the cluster.
 	if len(st.seqIdx) > 0 && cs.lastSeq != nil {
 		for _, si := range st.seqIdx {
@@ -162,7 +219,7 @@ func (st *Stream) Push(vals ...storage.Value) error {
 			}
 			if c > 0 {
 				return fmt.Errorf("sqlts: out-of-order tuple for cluster %q: %s after %s",
-					key, row[si], cs.lastSeq[si])
+					st.clusterKey(row), row[si], cs.lastSeq[si])
 			}
 			if c < 0 {
 				break
@@ -202,41 +259,60 @@ func (st *Stream) newClusterStream() *clusterStream {
 		// This emit callback consumes Spans synchronously, so the
 		// matcher may recycle them between emissions.
 		ReuseSpans: true,
-	}, func(m engine.Match) {
-		if st.sinkErr != nil {
-			return
-		}
-		st.q.db.metrics.streamMatches.Inc()
-		st.entry.RecordPushMatch()
-		// Evaluate output expressions against the matcher's retained
-		// window (still covering the match during emission). References
-		// past the match end (e.g. a trailing X.next) resolve to NULL if
-		// that tuple has not arrived yet — streaming emits eagerly.
-		window, base := cs.s.Window()
-		if cap(cs.spanScratch) < len(m.Spans) {
-			cs.spanScratch = make([]pattern.Span, len(m.Spans))
-		}
-		spans := cs.spanScratch[:len(m.Spans)]
-		for k, sp := range m.Spans {
-			spans[k] = pattern.Span{}
-			if sp.Set {
-				spans[k] = pattern.Span{Start: sp.Start - base, End: sp.End - base, Set: true}
-			}
-		}
-		row, err := st.q.plan.compiled.EvalSelectInto(cs.rowScratch, window, spans)
-		if err != nil {
-			st.sinkErr = err
-			return
-		}
-		cs.rowScratch = row
-		if err := st.sink(row); err != nil {
-			st.sinkErr = err
-		}
-	})
+	}, func(m engine.Match) { st.emitMatch(cs, m) })
+	if st.rc != nil {
+		cs.s.SetInterrupt(st.rc.check)
+	}
 	if !st.opts.NoKernel {
 		cs.s.UseKernel(st.q.plan.kernel)
 	}
 	return cs
+}
+
+// emitMatch is each cluster matcher's emit callback: it runs
+// synchronously from Push/Flush for every completed match.
+func (st *Stream) emitMatch(cs *clusterStream, m engine.Match) {
+	if st.sinkErr != nil {
+		return
+	}
+	st.q.db.metrics.streamMatches.Inc()
+	st.entry.RecordPushMatch()
+	// Evaluate output expressions against the matcher's retained
+	// window (still covering the match during emission). References
+	// past the match end (e.g. a trailing X.next) resolve to NULL if
+	// that tuple has not arrived yet — streaming emits eagerly.
+	window, base := cs.s.Window()
+	if cap(cs.spanScratch) < len(m.Spans) {
+		cs.spanScratch = make([]pattern.Span, len(m.Spans))
+	}
+	spans := cs.spanScratch[:len(m.Spans)]
+	for k, sp := range m.Spans {
+		spans[k] = pattern.Span{}
+		if sp.Set {
+			spans[k] = pattern.Span{Start: sp.Start - base, End: sp.End - base, Set: true}
+		}
+	}
+	row, err := st.q.plan.compiled.EvalSelectInto(cs.rowScratch, window, spans)
+	if err != nil {
+		st.sinkErr = err
+		return
+	}
+	cs.rowScratch = row
+	if err := st.sink(row); err != nil {
+		st.sinkErr = err
+	}
+}
+
+// sameCluster reports whether two rows share cluster-by values; any
+// comparison error falls back to the keyed path.
+func sameCluster(prev, cur storage.Row, idx []int) bool {
+	for _, i := range idx {
+		c, err := prev[i].Compare(cur[i])
+		if err != nil || c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (st *Stream) clusterKey(row storage.Row) string {
@@ -252,19 +328,41 @@ func (st *Stream) clusterKey(row storage.Row) string {
 }
 
 // Close flushes every cluster (completing trailing-star matches) and
-// returns the first error encountered.
-func (st *Stream) Close() error {
+// returns the first error encountered. The stream gauges are released
+// whatever happens during the flush — including a contained panic.
+func (st *Stream) Close() (err error) {
 	if st.closed {
 		return nil
 	}
 	st.closed = true
+	defer func() {
+		st.q.db.metrics.streamClusters.Add(-int64(len(st.clusters)))
+		st.q.db.metrics.streamsOpen.Dec()
+		st.entry.StreamClosed()
+	}()
+	if st.failed != nil {
+		return st.failed
+	}
+	// A canceled stream cannot complete its trailing matches: report the
+	// cancellation instead of silently flushing a truncated window.
+	if err := st.rc.check(); err != nil {
+		return err
+	}
+	if err := st.flushAll(); err != nil {
+		return err
+	}
+	return st.sinkErr
+}
+
+// flushAll flushes the cluster matchers inside the containment boundary
+// (a trailing-star completion evaluates predicates, which may hit the
+// interrupt checkpoint or panic).
+func (st *Stream) flushAll() (err error) {
+	defer st.contain(&err)
 	for _, cs := range st.clusters {
 		cs.s.Flush()
 	}
-	st.q.db.metrics.streamClusters.Add(-int64(len(st.clusters)))
-	st.q.db.metrics.streamsOpen.Dec()
-	st.entry.StreamClosed()
-	return st.sinkErr
+	return nil
 }
 
 // Stats aggregates runtime counters across all clusters.
