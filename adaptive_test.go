@@ -1,0 +1,180 @@
+package sqlts_test
+
+// Tests for the stats-fed adaptive optimizer (PR 8): measured conjunct
+// selectivity reorders AND-ed local conditions, and measured
+// naive-vs-OPS savings flip the Auto executor — and in both cases the
+// per-statement pred-eval count may only ever drop (reorders are
+// metric-invariant by construction; flips happen only when naive is no
+// worse).
+
+import (
+	"strings"
+	"testing"
+
+	"sqlts"
+	"sqlts/internal/obs"
+	"sqlts/internal/workload"
+)
+
+// skewedDB builds a table whose price column has strongly skewed
+// selectivity: almost every row is ≥ 10, a handful are 1.
+func skewedDB(t *testing.T, n int) *sqlts.DB {
+	t.Helper()
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = 10 + float64(i%7)
+		if i%20 == 0 {
+			prices[i] = 1 // ~5% satisfy price < 5
+		}
+	}
+	db := sqlts.New()
+	db.RegisterTable(workload.SeriesTable("t", 1000, prices))
+	return db
+}
+
+func stmtSnapshot(t *testing.T, db *sqlts.DB, sql string) obs.StmtSnapshot {
+	t.Helper()
+	for _, sn := range db.StatementStats() {
+		if strings.Contains(sn.SQL, "from t") {
+			return sn
+		}
+	}
+	t.Fatalf("no statement stats entry for %q", sql)
+	return obs.StmtSnapshot{}
+}
+
+// TestAdaptiveReorderNeverRaisesPredEvals drives a skewed-selectivity
+// statement past the adaptation threshold: the element's conjuncts are
+// written worst-first (the ~100% condition ahead of the ~5% one), so the
+// optimizer must replan with the selective conjunct first. Conjunct
+// order cannot change the paper's metric — probes count per (tuple,
+// element) test — so every post-replan run must report exactly the
+// pred-evals of the original plan, and the plan revision must move.
+func TestAdaptiveReorderNeverRaisesPredEvals(t *testing.T) {
+	db := skewedDB(t, 400)
+	sql := `SELECT X.date FROM t SEQUENCE BY date AS (X, Y)
+		WHERE X.price > 0 AND X.price < 5 AND Y.price > 0`
+
+	var first int64 = -1
+	for i := 0; i < 130; i++ {
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if first < 0 {
+			first = res.Stats.PredEvals
+		}
+		if res.Stats.PredEvals > first {
+			t.Fatalf("run %d: pred-evals rose after adaptation: %d > %d",
+				i, res.Stats.PredEvals, first)
+		}
+		if res.Stats.PredEvals < first {
+			t.Fatalf("run %d: conjunct reorder changed pred-evals: %d != %d",
+				i, res.Stats.PredEvals, first)
+		}
+	}
+
+	sn := stmtSnapshot(t, db, sql)
+	if sn.PlanRevision < 1 {
+		t.Fatalf("expected an adaptive replan (plan revision ≥ 1), got %d", sn.PlanRevision)
+	}
+	if sn.VectorizedRuns == 0 {
+		t.Fatal("expected vectorized runs to be recorded")
+	}
+	// The replanned statement must advertise its revision in EXPLAIN.
+	q, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Explain(), "adaptive: plan revision") {
+		t.Fatalf("EXPLAIN missing adaptive revision line:\n%s", q.Explain())
+	}
+	// And the reorder must have actually helped: the rate block for the
+	// new revision measures the selective conjunct first.
+	if rates := sn.CondMatchRates; len(rates) > 0 && len(rates[0]) == 2 {
+		if rates[0][0] > rates[0][1] {
+			t.Fatalf("conjuncts not reordered most-selective-first: %v", rates[0])
+		}
+	}
+}
+
+// TestAdaptiveExecutorFlip observes a statement where OPS saves nothing
+// over naive (element 1 rejects every row, so both executors spend
+// exactly one eval per row) under both executors, then checks that Auto
+// runs flip to the naive executor without the pred-eval count moving.
+func TestAdaptiveExecutorFlip(t *testing.T) {
+	db := skewedDB(t, 300)
+	sql := `SELECT X.date FROM t SEQUENCE BY date AS (X, Y)
+		WHERE X.price > 1000000 AND Y.price > 0`
+
+	var first int64 = -1
+	for i := 0; i < 130; i++ {
+		opts := sqlts.RunOptions{}
+		if i%2 == 1 {
+			opts.Executor = sqlts.NaiveExec
+		}
+		q, err := db.Prepare(sql)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		res, err := q.RunWith(opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if first < 0 {
+			first = res.Stats.PredEvals
+		}
+		if res.Stats.PredEvals != first {
+			t.Fatalf("run %d: pred-evals moved: %d != %d", i, res.Stats.PredEvals, first)
+		}
+	}
+
+	q, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := q.Explain()
+	if !strings.Contains(ex, "auto executor: naive") {
+		t.Fatalf("expected the Auto executor to flip to naive, EXPLAIN:\n%s", ex)
+	}
+	sn := stmtSnapshot(t, db, sql)
+	if sn.PlanRevision < 1 {
+		t.Fatalf("expected a replan, got revision %d", sn.PlanRevision)
+	}
+}
+
+// TestNoVectorizeOption pins the satellite toggle: results and counters
+// are identical with and without the batch mask kernels.
+func TestNoVectorizeOption(t *testing.T) {
+	db := skewedDB(t, 500)
+	sql := `SELECT X.date FROM t SEQUENCE BY date AS (X, *Y, Z)
+		WHERE X.price > 5 AND Y.price < Y.previous.price AND Z.price > 1.02 * Z.previous.price`
+	q, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := q.RunWith(sqlts.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := q.RunWith(sqlts.RunOptions{NoVectorize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := q.RunWith(sqlts.RunOptions{NoVectorize: true, NoKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Vectorized() {
+		t.Fatal("default run did not vectorize")
+	}
+	if row.Vectorized() || interp.Vectorized() {
+		t.Fatal("NoVectorize run reported vectorized")
+	}
+	if vec.Stats != row.Stats || vec.Stats != interp.Stats {
+		t.Fatalf("stats diverge: vec=%v row=%v interp=%v", vec.Stats, row.Stats, interp.Stats)
+	}
+	if len(vec.Rows) != len(row.Rows) || len(vec.Rows) != len(interp.Rows) {
+		t.Fatalf("row counts diverge: %d/%d/%d", len(vec.Rows), len(row.Rows), len(interp.Rows))
+	}
+}

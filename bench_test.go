@@ -139,6 +139,58 @@ func BenchmarkDoubleBottom(b *testing.B) {
 	b.Run("ops-interp", func(b *testing.B) {
 		runExecutor(b, engine.NewOPS(p, t, engine.OPSConfig{}), seq)
 	})
+	// "*-vec" answer probes through selection bitmasks (PR 8): the kernel
+	// batch-evaluates every local condition into per-element masks up
+	// front, probes become bit tests, and element-1 zero runs are
+	// bulk-skipped. Pred-evals are identical to the row-at-a-time runs.
+	b.Run("ops-vec", func(b *testing.B) {
+		ex := engine.NewOPS(p, t, engine.OPSConfig{})
+		ex.UseKernel(kern)
+		ex.SetVectorized(true)
+		runExecutor(b, ex, seq)
+	})
+	b.Run("naive-vec", func(b *testing.B) {
+		ex := engine.NewNaive(p, engine.SkipPastLastRow)
+		ex.UseKernel(kern)
+		ex.SetVectorized(true)
+		runExecutor(b, ex, seq)
+	})
+}
+
+// TestVectorizedWarmProbeZeroAlloc pins the PR 8 hot-loop guarantee:
+// with the projection and masks prebuilt (the warm serving state), a
+// vectorized search allocates nothing — probes are bit tests and the
+// element-1 fast-skip walks mask words without touching the heap.
+func TestVectorizedWarmProbeZeroAlloc(t *testing.T) {
+	prices := make([]float64, 4096)
+	for i := range prices {
+		prices[i] = 100 // flat series: the double-bottom shape never fires
+	}
+	seq := priceRowsOf(prices)
+	p := bench.DoubleBottomPattern()
+	tbl := core.Compute(p)
+	kern := p.CompileKernel()
+	proj := kern.NewProjection()
+	proj.SetRows(seq)
+	masks := kern.BuildMasks(proj, nil)
+
+	ex := engine.NewOPS(p, tbl, engine.OPSConfig{})
+	ex.UseKernel(kern)
+	ex.SetVectorized(true)
+	// Prime once so lazily-grown executor scratch reaches steady state.
+	ex.UseProjection(proj)
+	ex.UseMasks(masks)
+	if ms, _ := ex.FindAll(seq); len(ms) != 0 {
+		t.Fatalf("flat series unexpectedly matched %d times", len(ms))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ex.UseProjection(proj)
+		ex.UseMasks(masks)
+		ex.FindAll(seq)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm vectorized FindAll allocated %.1f allocs/op, want 0", allocs)
+	}
 }
 
 // --- E6: complex-pattern sweep ------------------------------------------------------

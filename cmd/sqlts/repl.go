@@ -23,6 +23,8 @@ import (
 //	\tables       list tables
 //	\explain      toggle plan printing
 //	\exec NAME    switch executor (ops, naive, ops+skip, ...)
+//	\vectorize    toggle the batch mask kernels (on by default; off
+//	              evaluates probes row-at-a-time — identical results)
 //	\counters     toggle the per-query counter line after each SELECT
 //	\stats        print the per-statement statistics table (calls,
 //	              latency quantiles, pred-evals, cache hit rates)
@@ -48,6 +50,7 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 	explain := false
 	stats := false
 	timing := false
+	vectorize := true
 	var timeout time.Duration
 
 	// SIGINT cancels the statement currently executing (if any) rather
@@ -104,6 +107,9 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 			case trimmed == `\explain`:
 				explain = !explain
 				fmt.Fprintf(out, "explain: %v\n", explain)
+			case trimmed == `\vectorize`:
+				vectorize = !vectorize
+				fmt.Fprintf(out, "vectorize: %v\n", onOff(vectorize))
 			case trimmed == `\counters`:
 				stats = !stats
 				fmt.Fprintf(out, "counters: %v\n", onOff(stats))
@@ -182,7 +188,7 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 		buf.Reset()
 		if err := execStatements(db, src, out, execOpts{
 			kind: kind, overlap: overlap, explain: explain, stats: stats, timing: timing,
-			timeout: timeout, setCancel: setCancel,
+			noVectorize: !vectorize, timeout: timeout, setCancel: setCancel,
 		}); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
@@ -242,6 +248,8 @@ type execOpts struct {
 	explain bool
 	stats   bool
 	timing  bool
+	// noVectorize disables the batch mask kernels (RunOptions.NoVectorize).
+	noVectorize bool
 	// timeout bounds each statement via RunOptions.Deadline (0 = none).
 	timeout time.Duration
 	// setCancel publishes the running statement's cancel func to the
@@ -279,7 +287,8 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) erro
 			}
 			res, err := q.RunWith(sqlts.RunOptions{
 				Executor: opts.kind, Overlap: opts.overlap,
-				Context: ctx, Deadline: opts.timeout,
+				NoVectorize: opts.noVectorize,
+				Context:     ctx, Deadline: opts.timeout,
 			})
 			if opts.setCancel != nil {
 				opts.setCancel(nil)

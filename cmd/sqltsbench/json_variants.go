@@ -30,13 +30,23 @@ func newStreamerBench(p *pattern.Pattern) *engine.Streamer {
 	return s
 }
 
-// extraEngineEntries adds interpreter rows for the double-bottom family
-// so each recorded file pairs the kernelized default with its
-// interpreter counterpart (pred-evals must agree between the two).
+// extraEngineEntries adds interpreter and vectorized rows for the
+// double-bottom family so each recorded file pairs the kernelized
+// default with its interpreter counterpart and its mask-probing
+// counterpart (pred-evals must agree across all of them).
 func extraEngineEntries(variant string, p *pattern.Pattern, seq []storage.Row) []benchEntry {
 	t := core.Compute(p)
+	k := p.CompileKernel()
+	ov := engine.NewOPS(p, t, engine.OPSConfig{})
+	ov.UseKernel(k)
+	ov.SetVectorized(true)
+	nv := engine.NewNaive(p, engine.SkipPastLastRow)
+	nv.UseKernel(k)
+	nv.SetVectorized(true)
 	return []benchEntry{
 		benchExecutor("E5-doublebottom", "doublebottom/ops-interp", variant,
 			engine.NewOPS(p, t, engine.OPSConfig{}), seq),
+		benchExecutor("E5-doublebottom", "doublebottom/ops-vec", variant, ov, seq),
+		benchExecutor("E5-doublebottom", "doublebottom/naive-vec", variant, nv, seq),
 	}
 }

@@ -44,8 +44,11 @@ func (q *Query) ExplainAnalyze(opts RunOptions) (string, error) {
 func (q *Query) reportBody(res *Result, opts RunOptions) string {
 	var b strings.Builder
 	b.WriteString(q.Explain())
-	fmt.Fprintf(&b, "plan: %s\n", planWord(q.planCached))
+	fmt.Fprintf(&b, "plan: %s (revision %d)\n", planWord(q.planCached), q.plan.revision)
 	fmt.Fprintf(&b, "partition: %s\n", cachedWord(res.partitionCached))
+	if res.vectorized {
+		b.WriteString("execution: vectorized (selection bitmasks)\n")
+	}
 	b.WriteString("\nPhases:\n")
 	// Render compile phases once plus the span of the run just measured
 	// (the last "execute" span — earlier runs appended their own).
@@ -64,7 +67,7 @@ func (q *Query) reportBody(res *Result, opts RunOptions) string {
 	}
 	b.WriteString(indent(obs.FormatSpans(keep), "  "))
 
-	fmt.Fprintf(&b, "Executor %s: %s (%d result rows)\n", opts.Executor, res.Stats, len(res.Rows))
+	fmt.Fprintf(&b, "Executor %s: %s (%d result rows)\n", q.effectiveExecutor(opts), res.Stats, len(res.Rows))
 	if cs := res.ClusterStats(); len(cs) > 1 {
 		b.WriteString("Clusters:\n")
 		for _, c := range cs {
@@ -83,7 +86,7 @@ func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error
 	var b strings.Builder
 	b.WriteString(q.reportBody(res, opts))
 
-	if opts.Executor != NaiveExec {
+	if q.effectiveExecutor(opts) != NaiveExec {
 		nopts := opts
 		nopts.Executor = NaiveExec
 		// Diagnostic re-run: no admission slot, no metrics, and the

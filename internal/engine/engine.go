@@ -145,6 +145,13 @@ type Executor interface {
 	// FindAll sequence (see evaluator.UseProjection); a no-op when no
 	// kernel is attached.
 	UseProjection(*storage.Projection)
+	// SetVectorized enables mask-based probing: searches build (or adopt
+	// via UseMasks) per-element selection bitmasks and answer probes with
+	// bit tests. Results and statistics are identical either way.
+	SetVectorized(on bool)
+	// UseMasks supplies prebuilt selection bitmasks for the next FindAll
+	// sequence (see evaluator.UseMasks); ignored unless SetVectorized.
+	UseMasks(*pattern.MaskSet)
 	// SetInterrupt installs a cooperative cancellation checkpoint,
 	// consulted once every 1024 predicate evaluations (nil disables).
 	SetInterrupt(check func() error)
@@ -165,10 +172,25 @@ type evaluator struct {
 	proj     *storage.Projection
 	ownProj  *storage.Projection
 	nextProj *storage.Projection
-	stats    Stats
-	trace    []PathPoint
-	doTrc    bool
-	ctx      pattern.EvalContext
+	// Vectorized probing (SetVectorized): masks holds the per-element
+	// selection bitmasks of the current sequence — either ownMasks (built
+	// by reset) or a caller-supplied shared set (UseMasks). fastSkip is
+	// set when element 1's mask alone decides failed starts, letting the
+	// search loops skip runs of zero bits in bulk (see skipEvals).
+	vec       bool
+	masks     *pattern.MaskSet
+	ownMasks  *pattern.MaskSet
+	nextMasks *pattern.MaskSet
+	fastSkip  bool
+	// pure[j] is element j's mask when a bit test alone answers the probe
+	// (vectorized, no cross conditions); nil sends the probe through the
+	// kernel's masked dispatch. Rebuilt by reset, reusing the backing
+	// array.
+	pure [][]uint64
+	stats     Stats
+	trace     []PathPoint
+	doTrc     bool
+	ctx       pattern.EvalContext
 	// check is the cooperative cancellation checkpoint, consulted every
 	// checkpointMask+1 predicate evaluations; nil when no cancellation
 	// is configured (the default, so uncancellable runs pay only the
@@ -187,10 +209,26 @@ func newEvaluator(p *pattern.Pattern) evaluator {
 func (e *evaluator) UseKernel(k *pattern.Kernel) {
 	if k == nil || k.CompiledElems() == 0 {
 		e.kern, e.proj, e.ownProj = nil, nil, nil
+		e.masks, e.ownMasks, e.nextMasks = nil, nil, nil
 		return
 	}
 	e.kern = k
 }
+
+// SetVectorized enables mask-based probing for subsequent searches: each
+// sequence's per-element selection bitmasks are built once (or adopted
+// from UseMasks) and probes of vectorized elements become bit tests.
+// Matches and Stats are identical to row-at-a-time evaluation — the
+// paper's pred-eval metric counts probes, not how they are answered. A
+// no-op without a kernel attached.
+func (e *evaluator) SetVectorized(on bool) { e.vec = on }
+
+// UseMasks supplies prebuilt selection bitmasks covering the next
+// FindAll sequence, sparing the per-search mask build the way
+// UseProjection spares the columnar decode. The masks must have been
+// built by this evaluator's kernel over exactly that sequence and may be
+// shared read-only between executors. One-shot, like UseProjection.
+func (e *evaluator) UseMasks(ms *pattern.MaskSet) { e.nextMasks = ms }
 
 // UseProjection supplies a prebuilt columnar projection of the next
 // sequence passed to FindAll, letting callers that cache partitions skip
@@ -231,15 +269,24 @@ func (e *evaluator) eval(j, i int) bool {
 	}
 	e.ctx.Pos = i - 1
 	if e.kern != nil {
+		if e.masks != nil {
+			if mk := e.pure[j-1]; mk != nil {
+				r := uint(i - 1)
+				return mk[r>>6]>>(r&63)&1 != 0
+			}
+			return e.kern.EvalElemMasked(j-1, e.proj, e.masks, &e.ctx)
+		}
 		return e.kern.EvalElem(j-1, e.proj, &e.ctx)
 	}
 	return e.p.EvalElem(j-1, &e.ctx)
 }
 
 // reset prepares for a new sequence, projecting it once when a kernel is
-// attached (the projection buffers are reused across sequences).
+// attached (the projection buffers are reused across sequences) and, in
+// vectorized mode, building or adopting the selection bitmasks.
 func (e *evaluator) reset(seq []storage.Row) {
 	e.ctx.Seq = seq
+	e.masks, e.fastSkip = nil, false
 	if e.kern != nil {
 		if e.nextProj != nil && e.nextProj.Len() == len(seq) {
 			e.proj = e.nextProj
@@ -251,9 +298,65 @@ func (e *evaluator) reset(seq []storage.Row) {
 			e.proj = e.ownProj
 		}
 		e.nextProj = nil
+		if e.vec && e.kern.VecElems() > 0 {
+			if e.nextMasks != nil && e.nextMasks.Rows() == len(seq) {
+				e.masks = e.nextMasks
+			} else {
+				e.ownMasks = e.kern.BuildMasks(e.proj, e.ownMasks)
+				e.masks = e.ownMasks
+			}
+			// Element 1's failed starts can be skipped in bulk when its
+			// mask alone decides them (no cross conditions) and nothing
+			// needs to observe each probe individually: path tracing
+			// records per-probe points, and fault injection ties its
+			// determinism to the exact eval cadence.
+			e.fastSkip = e.masks.Elem(0) != nil && !e.kern.ElemHasCross(0) &&
+				!e.doTrc && !fault.Active()
+			// Hoist the per-element pure-bit-test decision out of eval's
+			// hot path.
+			m := e.p.Len()
+			if cap(e.pure) < m {
+				e.pure = make([][]uint64, m)
+			}
+			e.pure = e.pure[:m]
+			for j := 0; j < m; j++ {
+				if mk := e.masks.Elem(j); mk != nil && !e.kern.ElemHasCross(j) {
+					e.pure[j] = mk
+				} else {
+					e.pure[j] = nil
+				}
+			}
+		}
 	}
+	e.nextMasks = nil
 	for k := range e.ctx.Bind {
 		e.ctx.Bind[k] = pattern.Span{}
+	}
+}
+
+// nextCandidate returns the first 1-based position ≥ i whose element-1
+// mask bit is set, or nn+1 when none remains. Only valid under fastSkip.
+func (e *evaluator) nextCandidate(i, nn int) int {
+	c := storage.MaskNextSet(e.masks.Elem(0), i-1)
+	if c < 0 || c >= nn {
+		return nn + 1
+	}
+	return c + 1
+}
+
+// skipEvals accounts k failed element-1 probes resolved in bulk from the
+// selection bitmask. Each skipped row would have cost exactly one
+// predicate evaluation and one rollback in every executor (a mismatch at
+// the first element always shifts by one), so the counters — the paper's
+// metric — stay bit-identical to row-at-a-time execution. Cancellation
+// checkpoints fire once per crossed 1024-eval boundary, preserving the
+// row path's responsiveness.
+func (e *evaluator) skipEvals(k int64) {
+	old := e.stats.PredEvals
+	e.stats.PredEvals += k
+	e.stats.Rollbacks += k
+	if old>>10 != e.stats.PredEvals>>10 && (e.check != nil || fault.Active()) {
+		e.checkpoint()
 	}
 }
 
@@ -301,6 +404,17 @@ func (n *Naive) FindAll(seq []storage.Row) ([]Match, Stats) {
 	var out []Match
 	nn := len(seq)
 	for start := 1; start <= nn; start++ {
+		if n.fastSkip {
+			// Starts whose element-1 bit is clear fail after exactly one
+			// eval; resolve the whole zero-run from the mask.
+			if c := n.nextCandidate(start, nn); c > start {
+				n.skipEvals(int64(c - start))
+				if c > nn {
+					break
+				}
+				start = c
+			}
+		}
 		end, ok := n.matchAt(start, nn)
 		if !ok {
 			n.stats.Rollbacks++

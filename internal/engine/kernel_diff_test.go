@@ -164,6 +164,19 @@ func TestKernelDifferential(t *testing.T) {
 			ok := NewOPS(p, tab, OPSConfig{Policy: policy})
 			ok.UseKernel(k)
 			diffCheck(t, fmt.Sprintf("seed %d ops/%v", seed, policy), pat, oi, ok, seq)
+
+			// Vectorized mode: probes resolve against precomputed selection
+			// bitmasks and zero-runs of element 1 bulk-skip, yet matches and
+			// Stats — pred-evals above all — must stay bit-identical.
+			nv := NewNaive(p, policy)
+			nv.UseKernel(k)
+			nv.SetVectorized(true)
+			diffCheck(t, fmt.Sprintf("seed %d naive-vec/%v", seed, policy), pat, ni, nv, seq)
+
+			ov := NewOPS(p, tab, OPSConfig{Policy: policy})
+			ov.UseKernel(k)
+			ov.SetVectorized(true)
+			diffCheck(t, fmt.Sprintf("seed %d ops-vec/%v", seed, policy), pat, oi, ov, seq)
 		}
 
 		// Executor reuse across clusters: the projection must be rebuilt
@@ -196,9 +209,11 @@ func TestKernelDifferentialStream(t *testing.T) {
 			cfg.Policy = SkipToNextRow
 		}
 
-		run := func(attach bool) ([]Match, Stats) {
+		run := func(attach, vec bool) ([]Match, Stats) {
 			var out []Match
-			s := NewStreamer(p, cfg, func(m Match) { out = append(out, m) })
+			c := cfg
+			c.Vectorize = vec
+			s := NewStreamer(p, c, func(m Match) { out = append(out, m) })
 			if attach {
 				s.UseKernel(k)
 			}
@@ -210,8 +225,8 @@ func TestKernelDifferentialStream(t *testing.T) {
 			s.Flush()
 			return out, s.Stats()
 		}
-		im, is := run(false)
-		km, ks := run(true)
+		im, is := run(false, false)
+		km, ks := run(true, false)
 		if !matchesEqual(im, km) {
 			t.Fatalf("seed %d: stream kernel matches diverge\npattern: %s\ninterp: %s\nkernel: %s",
 				seed, explain(p), fmtMatches(im), fmtMatches(km))
@@ -219,6 +234,71 @@ func TestKernelDifferentialStream(t *testing.T) {
 		if is != ks {
 			t.Fatalf("seed %d: stream kernel stats diverge\npattern: %s\ninterp: %+v\nkernel: %+v",
 				seed, explain(p), is, ks)
+		}
+		// Memoized verdict bits (Vectorize) must survive buffer growth and
+		// prune shifts without perturbing matches or counters.
+		vm, vs := run(true, true)
+		if !matchesEqual(im, vm) {
+			t.Fatalf("seed %d: stream memo matches diverge\npattern: %s\ninterp: %s\nmemo: %s",
+				seed, explain(p), fmtMatches(im), fmtMatches(vm))
+		}
+		if is != vs {
+			t.Fatalf("seed %d: stream memo stats diverge\npattern: %s\ninterp: %+v\nmemo: %+v",
+				seed, explain(p), is, vs)
+		}
+	}
+}
+
+// vecSeedCorpus pins the random seeds CI runs under -race: a small,
+// fixed corpus chosen to cover stars, crosses, fallbacks, and NULLs so
+// the data race detector sees every vectorized code path on every push.
+var vecSeedCorpus = []int64{0, 3, 7, 11, 19, 42, 101, 137}
+
+// TestVectorDifferentialSeeds is the seed-corpus differential: fixed
+// seeds, all three executors (interpreter, row kernel, vectorized), one
+// streaming memo pass. Fast enough for `-race` in CI's bench-smoke job.
+func TestVectorDifferentialSeeds(t *testing.T) {
+	for _, seed := range vecSeedCorpus {
+		r := rand.New(rand.NewSource(seed))
+		p := diffPattern(t, r)
+		k := p.CompileKernel()
+		seq := diffSeq(r, 60+r.Intn(80))
+		tab := core.Compute(p)
+		pat := explain(p)
+
+		ni := NewNaive(p, SkipPastLastRow)
+		nv := NewNaive(p, SkipPastLastRow)
+		nv.UseKernel(k)
+		nv.SetVectorized(true)
+		diffCheck(t, fmt.Sprintf("corpus %d naive-vec", seed), pat, ni, nv, seq)
+
+		oi := NewOPS(p, tab, OPSConfig{})
+		ov := NewOPS(p, tab, OPSConfig{})
+		ov.UseKernel(k)
+		ov.SetVectorized(true)
+		diffCheck(t, fmt.Sprintf("corpus %d ops-vec", seed), pat, oi, ov, seq)
+
+		var im, vm []Match
+		si := NewStreamer(p, StreamConfig{MaxBuffer: 24}, func(m Match) { im = append(im, m) })
+		sv := NewStreamer(p, StreamConfig{MaxBuffer: 24, Vectorize: true}, func(m Match) { vm = append(vm, m) })
+		sv.UseKernel(k)
+		for _, row := range seq {
+			if err := si.Push(row); err != nil {
+				t.Fatalf("corpus %d: push: %v", seed, err)
+			}
+			if err := sv.Push(row); err != nil {
+				t.Fatalf("corpus %d: push: %v", seed, err)
+			}
+		}
+		si.Flush()
+		sv.Flush()
+		if !matchesEqual(im, vm) {
+			t.Fatalf("corpus %d: stream memo matches diverge\npattern: %s\ninterp: %s\nmemo: %s",
+				seed, pat, fmtMatches(im), fmtMatches(vm))
+		}
+		if si.Stats() != sv.Stats() {
+			t.Fatalf("corpus %d: stream memo stats diverge\npattern: %s\ninterp: %+v\nmemo: %+v",
+				seed, pat, si.Stats(), sv.Stats())
 		}
 	}
 }

@@ -104,6 +104,18 @@ func (o *OPS) findAllPlain(seq []storage.Row) ([]Match, Stats) {
 	m := o.p.Len()
 	i, j := 1, 1
 	for i <= nn && j <= m {
+		if j == 1 && o.fastSkip {
+			// A mismatch at element 1 always resolves to shift=1/next=0 —
+			// one eval, one rollback, advance one row — so a run of zero
+			// bits in element 1's mask collapses to bulk accounting.
+			if c := o.nextCandidate(i, nn); c > i {
+				o.skipEvals(int64(c - i))
+				i = c
+				if i > nn {
+					break
+				}
+			}
+		}
 		if o.evalPlain(j, i) {
 			i++
 			j++
@@ -189,6 +201,16 @@ func (o *OPS) findAllStar(seq []storage.Row) ([]Match, Stats) {
 				}
 			}
 			break
+		}
+		if j == 1 && inElem == 0 && o.fastSkip {
+			// Same collapse as the plain loop: a fresh attempt failing at
+			// element 1 restarts one row later (next(1) = 0), costing one
+			// eval and one rollback per row, with bindings already clear.
+			if c := o.nextCandidate(i, nn); c > i {
+				o.skipEvals(int64(c - i))
+				i = c
+				continue // re-enter the input-exhausted check
+			}
 		}
 		if o.eval(j, i) {
 			if inElem == 0 {

@@ -30,6 +30,13 @@ type StreamConfig struct {
 	// the same pattern — e.g. one matcher per CLUSTER BY key — instead
 	// of re-running the implication engine per cluster.
 	Tables *core.Tables
+	// Vectorize memoizes per-row verdicts of pure kernel elements (no
+	// opaque predicates, no cross conditions) in selection bitmasks over
+	// the retained window: the shift/next machine re-probes rows it has
+	// rolled back over, and each re-probe becomes a bit test instead of
+	// a closure chain. Matches and Stats are identical either way
+	// (pred-evals count probes, however they are answered).
+	Vectorize bool
 }
 
 // Streamer is the incremental (push-based) OPS matcher: tuples arrive one
@@ -48,6 +55,12 @@ type Streamer struct {
 
 	kern *pattern.Kernel
 	proj *storage.Projection
+
+	// Verdict memo (cfg.Vectorize): per memoizable element, known marks
+	// buffer-relative rows whose verdict has been computed and val holds
+	// it. Both shift down with the prune and grow with the window.
+	memoKnown [][]uint64
+	memoVal   [][]uint64
 
 	spanScratch []pattern.Span // emission buffer when cfg.ReuseSpans
 
@@ -98,11 +111,23 @@ func NewStreamer(p *pattern.Pattern, cfg StreamConfig, emit func(Match)) *Stream
 func (s *Streamer) UseKernel(k *pattern.Kernel) {
 	if k == nil || k.CompiledElems() == 0 {
 		s.kern, s.proj = nil, nil
+		s.memoKnown, s.memoVal = nil, nil
 		return
 	}
 	s.kern = k
 	s.proj = k.NewProjection()
 	s.proj.AppendRows(s.buf)
+	if s.cfg.Vectorize {
+		s.memoKnown = make([][]uint64, k.Len())
+		s.memoVal = make([][]uint64, k.Len())
+		words := storage.MaskWords(len(s.buf))
+		for j := 0; j < k.Len(); j++ {
+			if k.ElemMemoizable(j) {
+				s.memoKnown[j] = make([]uint64, words)
+				s.memoVal[j] = make([]uint64, words)
+			}
+		}
+	}
 }
 
 // SetInterrupt installs a cooperative cancellation checkpoint, consulted
@@ -124,6 +149,24 @@ func (s *Streamer) evalAt(j, i int) bool {
 	s.ctx.Seq = s.buf
 	s.ctx.Pos = i - 1 - s.base
 	if s.kern != nil {
+		if s.memoKnown != nil {
+			if mk := s.memoKnown[j-1]; mk != nil {
+				rel := s.ctx.Pos
+				w := rel >> 6
+				if w < len(mk) {
+					bit := uint64(1) << uint(rel&63)
+					if mk[w]&bit != 0 {
+						return s.memoVal[j-1][w]&bit != 0
+					}
+					v := s.kern.EvalElem(j-1, s.proj, &s.ctx)
+					mk[w] |= bit
+					if v {
+						s.memoVal[j-1][w] |= bit
+					}
+					return v
+				}
+			}
+		}
 		return s.kern.EvalElem(j-1, s.proj, &s.ctx)
 	}
 	return s.p.EvalElem(j-1, &s.ctx)
@@ -197,6 +240,16 @@ func (s *Streamer) advance(row storage.Row) {
 	s.buf = append(s.buf, row)
 	if s.kern != nil {
 		s.proj.AppendRow(row)
+		if s.memoKnown != nil {
+			if words := storage.MaskWords(len(s.buf)); words > 0 {
+				for j := range s.memoKnown {
+					if s.memoKnown[j] != nil && len(s.memoKnown[j]) < words {
+						s.memoKnown[j] = storage.GrowMask(s.memoKnown[j], words)
+						s.memoVal[j] = storage.GrowMask(s.memoVal[j], words)
+					}
+				}
+			}
+		}
 	}
 	s.drain()
 	s.prune()
@@ -368,6 +421,15 @@ func (s *Streamer) prune() {
 	s.buf = append(s.buf[:0], s.buf[drop:]...)
 	if s.kern != nil {
 		s.proj.DropFront(drop)
+		if s.memoKnown != nil {
+			n := len(s.buf) + drop // valid bits before the shift
+			for j := range s.memoKnown {
+				if s.memoKnown[j] != nil {
+					storage.MaskShiftDown(s.memoKnown[j], drop, n)
+					storage.MaskShiftDown(s.memoVal[j], drop, n)
+				}
+			}
+		}
 	}
 	s.base += drop
 	s.pruned += int64(drop)

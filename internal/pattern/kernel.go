@@ -35,18 +35,20 @@ type elemKernel struct {
 type Kernel struct {
 	p       *Pattern
 	elems   []elemKernel
+	vecs    []vecElem
 	numCols []int
 	strCols []int
 
 	compiled int
 	fallback int
+	vecCnt   int
 }
 
 // CompileKernel builds the kernel program for the pattern. It never
 // fails: elements that cannot be compiled are marked for interpreter
 // fallback.
 func (p *Pattern) CompileKernel() *Kernel {
-	k := &Kernel{p: p, elems: make([]elemKernel, len(p.Elems))}
+	k := &Kernel{p: p, elems: make([]elemKernel, len(p.Elems)), vecs: make([]vecElem, len(p.Elems))}
 	numSet := map[int]bool{}
 	strSet := map[int]bool{}
 	for idx := range p.Elems {
@@ -69,6 +71,22 @@ func (p *Pattern) CompileKernel() *Kernel {
 			k.compiled++
 		}
 		k.elems[idx] = ek
+		// The batch (mask) form compiles independently: disjunctions
+		// vectorize even though the row kernel interprets them, so their
+		// columns must register in the shared projection sets here.
+		vconds := make([]vecCond, 0, len(e.Local))
+		for i := range e.Local {
+			vc, ok := compileVecCond(&e.Local[i], p.MissingPrevTrue, numSet, strSet)
+			if !ok {
+				vconds = nil
+				break
+			}
+			vconds = append(vconds, vc)
+		}
+		if vconds != nil {
+			k.vecs[idx] = vecElem{conds: vconds, ok: true}
+			k.vecCnt++
+		}
 	}
 	for c := range numSet {
 		k.numCols = append(k.numCols, c)

@@ -1,0 +1,148 @@
+package storage
+
+import "math/bits"
+
+// Selection bitmasks: packed []uint64 bit vectors over projection rows,
+// bit i = row i. The vectorized kernels (internal/pattern) fill one mask
+// per condition with branch-free compare loops and combine them with
+// word-wise AND/OR; the executors then consume candidate rows by
+// trailing-zeros iteration instead of probing row at a time. The helpers
+// here are deliberately free-standing functions over plain slices so the
+// pattern and engine packages can share scratch buffers without an
+// ownership protocol.
+
+// MaskWords returns the number of 64-bit words needed for n rows.
+func MaskWords(n int) int { return (n + 63) / 64 }
+
+// GrowMask extends m to at least words words, preserving content and
+// zeroing the new tail. It reuses capacity when available.
+func GrowMask(m []uint64, words int) []uint64 {
+	if len(m) >= words {
+		return m
+	}
+	if cap(m) >= words {
+		ext := m[len(m):words]
+		for i := range ext {
+			ext[i] = 0
+		}
+		return m[:words]
+	}
+	out := make([]uint64, words)
+	copy(out, m)
+	return out
+}
+
+// MaskHas reports whether bit i is set.
+func MaskHas(m []uint64, i int) bool {
+	return m[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// MaskSetBit sets bit i.
+func MaskSetBit(m []uint64, i int) {
+	m[i>>6] |= 1 << uint(i&63)
+}
+
+// MaskAnd intersects src into dst word-wise (dst &= src).
+func MaskAnd(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+// MaskOr unions src into dst word-wise (dst |= src).
+func MaskOr(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+// MaskZero clears every word of m.
+func MaskZero(m []uint64) {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// MaskFill sets bits [0, n) and clears everything above.
+func MaskFill(m []uint64, n int) {
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		m[i] = ^uint64(0)
+	}
+	for i := full; i < len(m); i++ {
+		m[i] = 0
+	}
+	if rem := n & 63; rem != 0 {
+		m[full] = 1<<uint(rem) - 1
+	}
+}
+
+// MaskPopcount counts the set bits of m.
+func MaskPopcount(m []uint64) int64 {
+	var n int64
+	for _, w := range m {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// MaskNextSet returns the lowest set bit index ≥ from, or -1 when no set
+// bit remains. from may exceed the mask's bit length.
+func MaskNextSet(m []uint64, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> 6
+	if w >= len(m) {
+		return -1
+	}
+	cur := m[w] >> uint(from&63)
+	if cur != 0 {
+		return from + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(m); w++ {
+		if m[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(m[w])
+		}
+	}
+	return -1
+}
+
+// MaskShiftDown shifts the first n valid bits of m down by k positions
+// (bit i+k moves to bit i) and clears every bit at or above n-k — the
+// mask analogue of Projection.DropFront, used by streaming prune. Bits
+// above the valid range must not survive the shift: a stale set bit
+// would read as a memoized verdict for a row that has not been probed.
+func MaskShiftDown(m []uint64, k, n int) {
+	if k <= 0 {
+		return
+	}
+	if k >= n {
+		MaskZero(m)
+		return
+	}
+	wk, bk := k>>6, uint(k&63)
+	words := len(m)
+	for i := 0; i < words; i++ {
+		var w uint64
+		if i+wk < words {
+			w = m[i+wk] >> bk
+			if bk != 0 && i+wk+1 < words {
+				w |= m[i+wk+1] << (64 - bk)
+			}
+		}
+		m[i] = w
+	}
+	// Clear bits at or above the new valid length n-k.
+	valid := n - k
+	vw := valid >> 6
+	if vw < words {
+		if rem := uint(valid & 63); rem != 0 {
+			m[vw] &= 1<<rem - 1
+			vw++
+		}
+		for ; vw < words; vw++ {
+			m[vw] = 0
+		}
+	}
+}

@@ -52,6 +52,9 @@ type dbMetrics struct {
 	kernelCompiled *obs.Counter
 	kernelFallback *obs.Counter
 
+	vectorizedRuns  *obs.Counter
+	adaptiveReplans *obs.Counter
+
 	planCacheHits               *obs.Counter
 	planCacheMisses             *obs.Counter
 	partitionCacheHits          *obs.Counter
@@ -123,6 +126,10 @@ func newDBMetrics() *dbMetrics {
 			"Pattern elements compiled to columnar predicate kernels at Prepare."),
 		kernelFallback: reg.Counter("sqlts_kernel_elements_fallback_total",
 			"Pattern elements left on the interpreter (opaque or disjunctive conditions)."),
+		vectorizedRuns: reg.Counter("sqlts_vectorized_runs_total",
+			"Query executions that probed through selection bitmasks."),
+		adaptiveReplans: reg.Counter("sqlts_adaptive_replans_total",
+			"Plans re-derived by the stats-fed adaptive optimizer (conjunct reorder or executor flip)."),
 		planCacheHits: reg.Counter("sqlts_plan_cache_hits_total",
 			"Prepares served a cached plan (compile pipeline skipped)."),
 		planCacheMisses: reg.Counter("sqlts_plan_cache_misses_total",
@@ -232,6 +239,9 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 	m.matches.Add(int64(res.Stats.Matches))
 	m.clustersScanned.Add(int64(len(res.clusterStats)))
 	m.queryDuration.Observe(dur.Seconds())
+	if res.vectorized {
+		m.vectorizedRuns.Inc()
+	}
 
 	// Statement stats mirror the Result counters exactly: same values,
 	// bucketed by the plan's normalized-SQL key (nil entry = disabled).
@@ -247,8 +257,14 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 		PlanCached:      q.planCached,
 		PartitionCached: res.partitionCached,
 		Kernel:          !opts.NoKernel && q.plan.kernel != nil && q.plan.kernel.CompiledElems() > 0,
-		Naive:           opts.Executor == NaiveExec,
+		Naive:           q.effectiveExecutor(opts) == NaiveExec,
+		Vectorized:      res.vectorized,
+		PlanRevision:    int64(q.plan.revision),
 	})
+	if ms := res.maskStats; ms != nil && entry != nil {
+		entry.RecordMaskStats(int64(q.plan.revision), ms.Rows, ms.ElemHits, ms.CondHits)
+	}
+	db.maybeAdapt(q, opts, entry)
 	if rate := db.traceSampleRate.Load(); rate > 0 && entry != nil {
 		if tick := entry.SampleTick(); tick%rate == 0 {
 			db.retainTrace(q, entry, false)

@@ -154,6 +154,16 @@ type partitionEntry struct {
 	// invalidation or eviction) and the cache is capacity-bounded.
 	mu    sync.Mutex
 	projs map[*pattern.Kernel][]*storage.Projection
+
+	// masks memoizes per-cluster selection bitmasks per kernel (PR 8):
+	// one MaskSet per cluster, built from the shared projection by the
+	// kernel's vectorized compare loops. Like the projections they are a
+	// pure function of the immutable cluster rows, so warm executions
+	// reuse them and every probe of a mask-covered element collapses to a
+	// bit test. maskAgg keeps the build-time per-condition match counts,
+	// aggregated across clusters, for the stats-fed adaptive optimizer.
+	masks   map[*pattern.Kernel][]*pattern.MaskSet
+	maskAgg map[*pattern.Kernel]*pattern.MaskStats
 }
 
 // projections returns one shared read-only projection per cluster for k,
@@ -165,6 +175,10 @@ func (e *partitionEntry) projections(k *pattern.Kernel) []*storage.Projection {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.projectionsLocked(k)
+}
+
+func (e *partitionEntry) projectionsLocked(k *pattern.Kernel) []*storage.Projection {
 	if ps, ok := e.projs[k]; ok {
 		return ps
 	}
@@ -178,6 +192,34 @@ func (e *partitionEntry) projections(k *pattern.Kernel) []*storage.Projection {
 	}
 	e.projs[k] = ps
 	return ps
+}
+
+// masksFor returns one shared read-only MaskSet per cluster for k plus
+// the aggregated build-time selectivity stats, building both on first
+// use. Returns nil when the kernel has no vectorizable elements.
+func (e *partitionEntry) masksFor(k *pattern.Kernel) ([]*pattern.MaskSet, *pattern.MaskStats) {
+	if k == nil || k.VecElems() == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ms, ok := e.masks[k]; ok {
+		return ms, e.maskAgg[k]
+	}
+	ps := e.projectionsLocked(k)
+	ms := make([]*pattern.MaskSet, len(e.clusters))
+	agg := &pattern.MaskStats{}
+	for i := range e.clusters {
+		ms[i] = k.BuildMasks(ps[i], nil)
+		agg.Add(ms[i].Stats())
+	}
+	if e.masks == nil {
+		e.masks = map[*pattern.Kernel][]*pattern.MaskSet{}
+		e.maskAgg = map[*pattern.Kernel]*pattern.MaskStats{}
+	}
+	e.masks[k] = ms
+	e.maskAgg[k] = agg
+	return ms, agg
 }
 
 func newPartitionCache(capacity int) *partitionCache {

@@ -94,6 +94,10 @@ type DB struct {
 	// admit is the concurrent-query admission gate (admission.go);
 	// unlimited until SetMaxConcurrentQueries.
 	admit admission
+
+	// adaptiveOff disables the stats-fed adaptive optimizer
+	// (adaptive.go); the zero value leaves it on.
+	adaptiveOff atomic.Bool
 }
 
 // New creates an empty database.
@@ -326,6 +330,11 @@ type RunOptions struct {
 	// experiments and differential testing; results and statistics are
 	// identical either way.
 	NoKernel bool
+	// NoVectorize disables the batch mask kernels and answers every probe
+	// row-at-a-time (the compiled chains still apply unless NoKernel is
+	// also set) — for experiments and differential testing; results and
+	// statistics are identical either way.
+	NoVectorize bool
 	// NoCache bypasses the partition cache for this run: the cluster
 	// sort always re-runs and the result is not stored. (Plan caching
 	// happens at Prepare time; disable it with SetPlanCacheCapacity(0).)
@@ -365,7 +374,13 @@ type Result struct {
 	clusterStats    []ClusterStat
 	planCached      bool
 	partitionCached bool
+	vectorized      bool
+	maskStats       *pattern.MaskStats
 }
+
+// Vectorized reports whether the execution probed through selection
+// bitmasks (batch mask kernels) rather than row-at-a-time evaluation.
+func (r *Result) Vectorized() bool { return r.vectorized }
 
 // PlanCached reports whether the execution served a plan from the plan
 // cache (no parse/analyze/optimize work was done for it).
@@ -421,6 +436,14 @@ type Plan struct {
 	tables   *core.Tables
 	kernel   *pattern.Kernel
 	explain  explainMode
+
+	// revision counts adaptive replans of this statement (0 = the plan as
+	// compiled from SQL); preferNaive steers Auto executions to the naive
+	// executor when measured savings showed the optimizer doesn't pay.
+	// Both are fixed at derivation time — a Plan stays immutable; the
+	// adaptive optimizer replaces the cache entry with a derived Plan.
+	revision    int
+	preferNaive bool
 
 	// catalogVersion is the DB catalog version the plan was compiled
 	// under; the plan cache revalidates it on every hit.
@@ -660,6 +683,15 @@ func (q *Query) Explain() string {
 			fmt.Fprintf(&b, " (%d interpreter fallback)", n)
 		}
 		b.WriteByte('\n')
+		fmt.Fprintf(&b, "vectorized: %d/%d elements mask-compiled\n",
+			kernel.VecElems(), p.Len())
+	}
+	if q.plan.revision > 0 {
+		pref := "ops"
+		if q.plan.preferNaive {
+			pref = "naive"
+		}
+		fmt.Fprintf(&b, "adaptive: plan revision %d (auto executor: %s)\n", q.plan.revision, pref)
 	}
 	b.WriteByte('\n')
 	b.WriteString(q.plan.tables.Explain())
@@ -859,6 +891,15 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 	if !opts.NoKernel {
 		projs = part.projections(q.plan.kernel)
 	}
+	// Likewise the memoized selection bitmasks (PR 8): warm vectorized
+	// runs answer probes with bit tests against masks built once per
+	// (partition, kernel). Mask-build selectivity stats ride along for
+	// the adaptive optimizer.
+	var masks []*pattern.MaskSet
+	if projs != nil && !opts.NoVectorize {
+		masks, res.maskStats = part.masksFor(q.plan.kernel)
+		res.vectorized = masks != nil
+	}
 	policy := engine.SkipPastLastRow
 	if opts.Overlap {
 		policy = engine.SkipToNextRow
@@ -869,12 +910,15 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 		q.pathMu.Unlock()
 	}
 	if opts.Parallel && !opts.Trace && len(clusters) > 1 {
-		out, err := q.runParallel(rc, res, clusters, projs, opts, policy)
+		out, err := q.runParallel(rc, res, clusters, projs, masks, opts, policy)
 		return out, scanned, err
 	}
 	ex := q.newExecutor(opts, policy)
 	if rc != nil {
 		ex.SetInterrupt(rc.check)
+	}
+	if masks != nil {
+		ex.SetVectorized(true)
 	}
 	for ci, seq := range clusters {
 		if err := faultExecCluster.Fire(); err != nil {
@@ -885,6 +929,9 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 		}
 		if projs != nil {
 			ex.UseProjection(projs[ci])
+		}
+		if masks != nil {
+			ex.UseMasks(masks[ci])
 		}
 		ms, stats := ex.FindAll(seq)
 		res.Stats.Add(stats)
@@ -919,7 +966,7 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 // one cluster's search is captured into that cluster's slot, the shared
 // early-stop flag flips, and the remaining workers drain the dispatch
 // channel without starting new clusters — all goroutines always exit.
-func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Row, projs []*storage.Projection, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
+func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Row, projs []*storage.Projection, masks []*pattern.MaskSet, opts RunOptions, policy engine.SkipPolicy) (*Result, error) {
 	type clusterOut struct {
 		matches []engine.Match
 		rows    []storage.Row
@@ -958,6 +1005,9 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 		if projs != nil {
 			ex.UseProjection(projs[ci])
 		}
+		if masks != nil {
+			ex.UseMasks(masks[ci])
+		}
 		ms, stats := ex.FindAll(seq)
 		out.matches, out.stats = ms, stats
 		for _, m := range ms {
@@ -981,6 +1031,9 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 			ex := q.newExecutor(opts, policy)
 			if rc != nil {
 				ex.SetInterrupt(rc.check)
+			}
+			if masks != nil {
+				ex.SetVectorized(true)
 			}
 			for ci := range next {
 				if failed.Load() {
@@ -1022,13 +1075,24 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 	return res, nil
 }
 
+// effectiveExecutor resolves the executor kind a run will use: an
+// explicit choice always wins; Auto follows the plan's adaptive
+// preference (preferNaive is set when measured savings showed OPS
+// doesn't pay for this statement).
+func (q *Query) effectiveExecutor(opts RunOptions) ExecutorKind {
+	if opts.Executor == Auto && q.plan.preferNaive {
+		return NaiveExec
+	}
+	return opts.Executor
+}
+
 func (q *Query) newExecutor(opts RunOptions, policy engine.SkipPolicy) engine.Executor {
 	p := q.plan.compiled.Pattern
 	kern := q.plan.kernel
 	if opts.NoKernel {
 		kern = nil
 	}
-	switch opts.Executor {
+	switch q.effectiveExecutor(opts) {
 	case NaiveExec:
 		n := engine.NewNaive(p, policy)
 		n.UseKernel(kern)

@@ -26,6 +26,11 @@ type StreamOptions struct {
 	// NoKernel disables the compiled columnar predicate kernels for this
 	// stream and interprets every probe (see RunOptions.NoKernel).
 	NoKernel bool
+	// NoVectorize disables per-row verdict memoization in the cluster
+	// matchers (the streaming analogue of the batch mask kernels; see
+	// RunOptions.NoVectorize). Matches and statistics are identical
+	// either way.
+	NoVectorize bool
 	// Context, when non-nil, cancels the stream cooperatively: Push
 	// checks it on entry and the per-cluster matchers check it at
 	// amortized checkpoints, so even a single Push that triggers a long
@@ -256,6 +261,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 		LastRowSkip: st.opts.LastRowSkip,
 		MaxBuffer:   st.opts.MaxBuffer,
 		Tables:      st.tables,
+		Vectorize:   !st.opts.NoKernel && !st.opts.NoVectorize,
 		// This emit callback consumes Spans synchronously, so the
 		// matcher may recycle them between emissions.
 		ReuseSpans: true,
