@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +27,8 @@ import (
 //	\exec NAME    switch executor (ops, naive, ops+skip, ...)
 //	\vectorize    toggle the batch mask kernels (on by default; off
 //	              evaluates probes row-at-a-time — identical results)
+//	\workers [n]  bound parallel/shard fan-out to n workers per
+//	              statement (0 = default, GOMAXPROCS)
 //	\counters     toggle the per-query counter line after each SELECT
 //	\stats        print the per-statement statistics table (calls,
 //	              latency quantiles, pred-evals, cache hit rates)
@@ -51,6 +55,7 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 	stats := false
 	timing := false
 	vectorize := true
+	workers := 0
 	var timeout time.Duration
 
 	// SIGINT cancels the statement currently executing (if any) rather
@@ -110,6 +115,22 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 			case trimmed == `\vectorize`:
 				vectorize = !vectorize
 				fmt.Fprintf(out, "vectorize: %v\n", onOff(vectorize))
+			case trimmed == `\workers` || strings.HasPrefix(trimmed, `\workers `):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\workers`))
+				if arg != "" {
+					n, err := strconv.Atoi(arg)
+					if err != nil || n < 0 {
+						fmt.Fprintf(out, "usage: \\workers [n] (0 = default, GOMAXPROCS)\n")
+						prompt()
+						continue
+					}
+					workers = n
+				}
+				if workers == 0 {
+					fmt.Fprintf(out, "workers: default (GOMAXPROCS = %d)\n", runtime.GOMAXPROCS(0))
+				} else {
+					fmt.Fprintf(out, "workers: %d\n", workers)
+				}
 			case trimmed == `\counters`:
 				stats = !stats
 				fmt.Fprintf(out, "counters: %v\n", onOff(stats))
@@ -188,7 +209,7 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 		buf.Reset()
 		if err := execStatements(db, src, out, execOpts{
 			kind: kind, overlap: overlap, explain: explain, stats: stats, timing: timing,
-			noVectorize: !vectorize, timeout: timeout, setCancel: setCancel,
+			noVectorize: !vectorize, workers: workers, timeout: timeout, setCancel: setCancel,
 		}); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
@@ -250,6 +271,9 @@ type execOpts struct {
 	timing  bool
 	// noVectorize disables the batch mask kernels (RunOptions.NoVectorize).
 	noVectorize bool
+	// workers bounds parallel/shard fan-out (RunOptions.MaxWorkers; 0 =
+	// GOMAXPROCS default).
+	workers int
 	// timeout bounds each statement via RunOptions.Deadline (0 = none).
 	timeout time.Duration
 	// setCancel publishes the running statement's cancel func to the
@@ -287,8 +311,8 @@ func execStatements(db *sqlts.DB, src string, out io.Writer, opts execOpts) erro
 			}
 			res, err := q.RunWith(sqlts.RunOptions{
 				Executor: opts.kind, Overlap: opts.overlap,
-				NoVectorize: opts.noVectorize,
-				Context:     ctx, Deadline: opts.timeout,
+				NoVectorize: opts.noVectorize, MaxWorkers: opts.workers,
+				Context: ctx, Deadline: opts.timeout,
 			})
 			if opts.setCancel != nil {
 				opts.setCancel(nil)

@@ -194,3 +194,34 @@ SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
 		t.Errorf("expected two successful SELECTs:\n%s", got)
 	}
 }
+
+// TestREPLWorkers covers the \workers meta-command: show, set, reject,
+// and the bound riding along on statement execution.
+func TestREPLWorkers(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader(`
+CREATE TABLE q (d DATE, p REAL);
+INSERT INTO q VALUES ('2020-01-01', 1), ('2020-01-02', 2), ('2020-01-03', 1);
+\workers
+\workers 2
+SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
+\workers -1
+\workers 0
+\q
+`)
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"workers: default (GOMAXPROCS",
+		"workers: 2",
+		`usage: \workers [n]`,
+		"(1 rows)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}

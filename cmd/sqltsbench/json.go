@@ -41,10 +41,14 @@ type benchEntry struct {
 }
 
 type benchFile struct {
-	Recorded string       `json:"recorded"`
-	Go       string       `json:"go"`
-	Note     string       `json:"note"`
-	Entries  []benchEntry `json:"entries"`
+	Recorded string `json:"recorded"`
+	Go       string `json:"go"`
+	// Gomaxprocs records the recording machine's parallelism — the
+	// serving-sharded entries only show scatter-gather scaling when it
+	// is > 1 (a 1-CPU recording pins correctness, not speedup).
+	Gomaxprocs int          `json:"gomaxprocs"`
+	Note       string       `json:"note"`
+	Entries    []benchEntry `json:"entries"`
 }
 
 // entryOf converts a testing.BenchmarkResult into an entry.
@@ -91,11 +95,12 @@ func doubleBottomRows(seed int64) []storage.Row {
 }
 
 // writeBenchJSON runs every family and writes the document to path.
-func writeBenchJSON(path, variant string, seed int64) error {
+func writeBenchJSON(path, variant string, seed int64, shardClusters int) error {
 	doc := benchFile{
-		Recorded: time.Now().UTC().Format(time.RFC3339),
-		Go:       runtime.Version(),
-		Note:     "sqltsbench -json: ns/op, allocs, and pred-evals per benchmark family",
+		Recorded:   time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Note:       "sqltsbench -json: ns/op, allocs, and pred-evals per benchmark family",
 	}
 
 	// E1: KMP vs naive text search.
@@ -253,6 +258,17 @@ func writeBenchJSON(path, variant string, seed int64) error {
 	e.PredEvals = evals
 	doc.Entries = append(doc.Entries, e)
 
+	// Serving-sharded: the PR 9 scatter-gather path over a many-small-
+	// clusters workload (the shape it targets). warm-1shard is the flat
+	// serial baseline, warm-8shard the 8-way scatter; pred-evals must be
+	// identical, and on a multi-core recorder (gomaxprocs above) the
+	// 8-shard ns/op shows the scaling.
+	entries, err := shardedServingEntries(variant, seed, shardClusters)
+	if err != nil {
+		return err
+	}
+	doc.Entries = append(doc.Entries, entries...)
+
 	out, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err
@@ -267,4 +283,51 @@ func writeBenchJSON(path, variant string, seed int64) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d benchmark entries to %s\n", len(doc.Entries), path)
 	return nil
+}
+
+// shardedServingEntries measures warm serving of the relaxed
+// double-bottom query over a clusters-symbol quote table, flat versus
+// sharded 8 ways.
+func shardedServingEntries(variant string, seed int64, clusters int) ([]benchEntry, error) {
+	if clusters <= 0 {
+		return nil, nil
+	}
+	tbl := workload.ClusterWalks("quote", seed, clusters, 10, 50)
+	sql := ta.DoubleBottomOver("quote", "name", 0.02)
+	var out []benchEntry
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{
+		{"serving-sharded/warm-1shard", 1},
+		{"serving-sharded/warm-8shard", 8},
+	} {
+		db := sqlts.New()
+		db.RegisterTable(tbl)
+		if err := db.DeclarePositive("quote", "price"); err != nil {
+			return nil, err
+		}
+		db.SetShards(v.shards)
+		if _, err := db.Query(sql); err != nil { // prime plan + partition
+			return nil, err
+		}
+		var evals int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := db.Query(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.PlanCached() || !res.PartitionCached() {
+					b.Fatal("warm sharded serving run missed a cache")
+				}
+				evals = res.Stats.PredEvals
+			}
+		})
+		e := entryOf("serving-sharded", v.name, variant, r)
+		e.PredEvals = evals
+		out = append(out, e)
+	}
+	return out, nil
 }

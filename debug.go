@@ -92,6 +92,7 @@ func (db *DB) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("/debug/statements", db.serveStatements)
 	mux.HandleFunc("/debug/slowlog", db.serveSlowLog)
+	mux.HandleFunc("/debug/shards", db.serveShards)
 	mux.HandleFunc("/debug/trace/", db.serveTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -108,6 +109,7 @@ func (db *DB) DebugHandler() http.Handler {
   /metrics                 Prometheus exposition
   /debug/statements        per-statement stats (JSON; ?format=text)
   /debug/slowlog           slow-query log (JSON; ?format=text&verbose=1)
+  /debug/shards            cached sharded partitions (JSON)
   /debug/trace/            retained traces (index; /debug/trace/<id> for export)
   /debug/pprof/            Go profiling endpoints
 `)
@@ -124,6 +126,13 @@ func (db *DB) serveStatements(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Statements []obs.StmtSnapshot `json:"statements"`
 	}{db.StatementStats()})
+}
+
+func (db *DB) serveShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Configured int                  `json:"configured_shards"`
+		Partitions []ShardPartitionInfo `json:"partitions"`
+	}{db.Shards(), db.ShardInfo()})
 }
 
 func (db *DB) serveSlowLog(w http.ResponseWriter, r *http.Request) {

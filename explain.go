@@ -49,6 +49,9 @@ func (q *Query) reportBody(res *Result, opts RunOptions) string {
 	if res.vectorized {
 		b.WriteString("execution: vectorized (selection bitmasks)\n")
 	}
+	if res.shardCount > 1 {
+		fmt.Fprintf(&b, "execution: shard-parallel (%d shards)\n", res.shardCount)
+	}
 	b.WriteString("\nPhases:\n")
 	// Render compile phases once plus the span of the run just measured
 	// (the last "execute" span — earlier runs appended their own).

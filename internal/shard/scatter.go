@@ -1,0 +1,436 @@
+package shard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"sqlts/internal/engine"
+	"sqlts/internal/pattern"
+	"sqlts/internal/storage"
+)
+
+// ClusterResult is the per-cluster unit streamed back from a Runner: the
+// matches, projected output rows, and search counters of one cluster, or
+// the error that stopped it. Exactly one ClusterResult is emitted per
+// cluster a runner owns (fewer only after an early stop).
+type ClusterResult struct {
+	// Global is the cluster's table-wide index in first-appearance order
+	// — the order serial execution visits clusters.
+	Global int
+	// Rows is the cluster's input row count.
+	Rows int
+	// Matches and Out are the pattern matches and their projected output
+	// rows, in match order.
+	Matches []engine.Match
+	Out     []storage.Row
+	// Stats are the search counters accumulated within the cluster.
+	Stats engine.Stats
+	// Err poisons the scatter: the shared stop flag flips and no further
+	// clusters are claimed anywhere.
+	Err error
+}
+
+// Searcher runs the compiled pattern over single clusters. One Searcher
+// is created per worker goroutine — executors carry per-search state —
+// and is handed each cluster's rows plus that cluster's memoized
+// projection and mask set (nil when the request disabled them or the
+// kernel compiled nothing). Implementations own their containment
+// boundary: a panicking predicate must come back as Err, not unwind.
+type Searcher interface {
+	Search(global int, rows []storage.Row, proj *storage.Projection, masks *pattern.MaskSet) ClusterResult
+}
+
+// Request is one scatter-gather execution over a set of runners: the
+// plan goes in (kernel + searcher factory locally, statement text for
+// remote runners), a merged match stream comes out.
+type Request struct {
+	// SQL is the canonical statement text. In-process runners ignore it;
+	// a remote runner compiles its own plan from it, which is what lets
+	// one slot in behind the Runner interface without planner changes.
+	SQL string
+
+	// Kernel keys the per-shard memoized projections and mask sets.
+	Kernel *pattern.Kernel
+	// NoProjections skips the memoized columnar projections (the
+	// interpreter path); NoMasks skips the selection bitmasks while
+	// keeping projections. Both mirror RunOptions.NoKernel/NoVectorize.
+	NoProjections bool
+	NoMasks       bool
+
+	// NewSearcher returns a fresh per-worker searcher. vectorized
+	// reports whether Search calls will be handed mask sets, so the
+	// implementation can configure its executor once.
+	NewSearcher func(vectorized bool) Searcher
+
+	// Buffer bounds each runner's in-flight results (the channel
+	// capacity between a runner and the gatherer); values < 1 mean 1.
+	Buffer int
+
+	// Stop is the scatter-wide early-stop flag: the first error flips it
+	// and every runner stops claiming new clusters. Gather initializes
+	// it when nil; callers share one across requests to link stops.
+	Stop *atomic.Bool
+}
+
+func (r *Request) buffer() int {
+	if r.Buffer < 1 {
+		return 1
+	}
+	return r.Buffer
+}
+
+// Runner is the scatter unit: it owns a fixed set of clusters and
+// streams their results back in ascending global order. Group is the
+// in-process implementation over one or more shards; a remote shard
+// server would implement the same contract against Request.SQL.
+type Runner interface {
+	// Globals returns the ascending global indices of the clusters the
+	// runner emits.
+	Globals() []int
+	// Run executes the request, sending one ClusterResult per cluster on
+	// out in ascending global order, and closes out when done or when
+	// req.Stop flips. The gatherer consumes every channel to the end, so
+	// Run never blocks forever on out.
+	Run(req *Request, out chan<- ClusterResult)
+}
+
+// Group is a set of shards executed by one in-process worker pool. Its
+// clusters — the union of its shards' — are claimed and emitted in
+// ascending global order, which is what lets the gatherer stream-merge
+// groups with one bounded channel each. Grouping exists because worker
+// budgets can be smaller than shard counts: W workers over N shards run
+// as min(W, N) groups, so no shard ever waits on a whole pool.
+type Group struct {
+	shards  []*Shard
+	refs    []groupRef // parallel to globals; ascending global order
+	globals []int
+	workers int
+}
+
+// groupRef locates one cluster inside a Group's shard list.
+type groupRef struct{ slot, local int32 }
+
+// Shards returns the group's shards.
+func (g *Group) Shards() []*Shard { return g.shards }
+
+// Workers returns the group's worker budget.
+func (g *Group) Workers() int { return g.workers }
+
+// Globals implements Runner.
+func (g *Group) Globals() []int { return g.globals }
+
+// Layout plans a scatter over p for a worker budget: shards holding
+// clusters are dealt round-robin into min(workers, shards) groups and
+// the budget is split across groups, remainder to the earliest. Layouts
+// are pure functions of the (immutable) partition and the budget, so
+// they are memoized per partition generation — warm queries reuse the
+// group structure the way they reuse projections.
+func Layout(p *Partition, workers int) []*Group {
+	if workers < 1 {
+		workers = 1
+	}
+	p.layoutMu.Lock()
+	defer p.layoutMu.Unlock()
+	if gs, ok := p.layouts[workers]; ok {
+		return gs
+	}
+	gs := buildLayout(p, workers)
+	if p.layouts == nil {
+		p.layouts = map[int][]*Group{}
+	}
+	p.layouts[workers] = gs
+	return gs
+}
+
+// buildLayout constructs a layout in O(clusters): one bucketing walk
+// over the partition's global cluster order, no sorting.
+func buildLayout(p *Partition, workers int) []*Group {
+	var active []int32 // shard ids with clusters
+	for sid, s := range p.shards {
+		if len(s.clusters) > 0 {
+			active = append(active, int32(sid))
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	ngroups := workers
+	if ngroups > len(active) {
+		ngroups = len(active)
+	}
+	groups := make([]*Group, ngroups)
+	for i := range groups {
+		groups[i] = &Group{}
+	}
+	// slotOf/groupOf: shard id → (group, index within the group's shards).
+	groupOf := make([]int32, len(p.shards))
+	slotOf := make([]int32, len(p.shards))
+	for i, sid := range active {
+		gi := i % ngroups
+		g := groups[gi]
+		groupOf[sid] = int32(gi)
+		slotOf[sid] = int32(len(g.shards))
+		g.shards = append(g.shards, p.shards[sid])
+	}
+	for i, g := range groups {
+		g.workers = workers / ngroups
+		if i < workers%ngroups {
+			g.workers++
+		}
+		n := 0
+		for _, s := range g.shards {
+			n += len(s.clusters)
+		}
+		g.refs = make([]groupRef, 0, n)
+		g.globals = make([]int, 0, n)
+	}
+	// Walking p.refs in global order distributes each group's clusters to
+	// it already ascending.
+	for gi, r := range p.refs {
+		g := groups[groupOf[r.shard]]
+		g.refs = append(g.refs, groupRef{slot: slotOf[r.shard], local: r.local})
+		g.globals = append(g.globals, gi)
+	}
+	return groups
+}
+
+// Runners converts a layout to the interface slice Gather consumes.
+func Runners(groups []*Group) []Runner {
+	rs := make([]Runner, len(groups))
+	for i, g := range groups {
+		rs[i] = g
+	}
+	return rs
+}
+
+// fetch resolves the memoized projections and masks for each of the
+// group's shards per the request's kernel settings, mirroring the flat
+// path's rules: projections only when the kernel compiled something,
+// masks only on top of projections.
+func (g *Group) fetch(req *Request) (projs [][]*storage.Projection, masks [][]*pattern.MaskSet, vectorized bool) {
+	projs = make([][]*storage.Projection, len(g.shards))
+	masks = make([][]*pattern.MaskSet, len(g.shards))
+	if req.NoProjections || req.Kernel == nil {
+		return projs, masks, false
+	}
+	for si, s := range g.shards {
+		projs[si] = s.Projections(req.Kernel)
+		if projs[si] != nil && !req.NoMasks {
+			ms, _ := s.Masks(req.Kernel)
+			masks[si] = ms
+			vectorized = vectorized || ms != nil
+		}
+	}
+	return projs, masks, vectorized
+}
+
+// search runs one claimed cluster through s with its memoized inputs.
+func (g *Group) search(s Searcher, i int, projs [][]*storage.Projection, masks [][]*pattern.MaskSet) ClusterResult {
+	r := g.refs[i]
+	c := g.shards[r.slot].clusters[r.local]
+	var p *storage.Projection
+	var m *pattern.MaskSet
+	if projs[r.slot] != nil {
+		p = projs[r.slot][r.local]
+	}
+	if masks[r.slot] != nil {
+		m = masks[r.slot][r.local]
+	}
+	res := s.Search(c.Global, c.Rows, p, m)
+	res.Global = c.Global
+	res.Rows = len(c.Rows)
+	return res
+}
+
+// panicResult converts a panic that escaped a searcher (the Searcher
+// contract says it shouldn't, but a runner must never deadlock the
+// gatherer on a contract violation) into an error result.
+func panicResult(global int, r any) ClusterResult {
+	return ClusterResult{
+		Global: global,
+		Err:    fmt.Errorf("shard: runner panic: %v\n%s", r, debug.Stack()),
+	}
+}
+
+// Run implements Runner: the group's clusters are claimed in ascending
+// global order by up to Workers() goroutines and emitted on out in that
+// same order. Ordering under concurrency comes from the slot queue:
+// claiming a cluster and enqueueing its 1-slot result channel happen
+// under one lock, so slot order equals claim order equals global order,
+// and a single forwarder drains slots in sequence. The slot queue's
+// capacity doubles as the in-flight bound: a claim blocks (lock held)
+// once workers run too far ahead of the consumer.
+func (g *Group) Run(req *Request, out chan<- ClusterResult) {
+	defer close(out)
+	if len(g.refs) == 0 {
+		return
+	}
+	projs, masks, vectorized := g.fetch(req)
+	workers := g.workers
+	if workers > len(g.refs) {
+		workers = len(g.refs)
+	}
+	if workers <= 1 {
+		var s Searcher
+		for i := range g.refs {
+			if req.Stop.Load() {
+				return
+			}
+			res := func() (cr ClusterResult) {
+				defer func() {
+					if r := recover(); r != nil {
+						cr = panicResult(g.globals[i], r)
+					}
+				}()
+				if s == nil {
+					s = req.NewSearcher(vectorized)
+				}
+				return g.search(s, i, projs, masks)
+			}()
+			out <- res
+			if res.Err != nil {
+				req.Stop.Store(true)
+				return
+			}
+		}
+		return
+	}
+
+	// Slot queue: claim order == emit order, capacity bounds run-ahead.
+	slots := make(chan chan ClusterResult, workers+req.buffer())
+	var mu sync.Mutex
+	next := 0
+	claim := func() (int, chan ClusterResult, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(g.refs) || req.Stop.Load() {
+			return 0, nil, false
+		}
+		i := next
+		next++
+		c := make(chan ClusterResult, 1)
+		slots <- c
+		return i, c, true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s Searcher
+			for {
+				i, c, ok := claim()
+				if !ok {
+					return
+				}
+				// Every claimed slot receives exactly one result — on a
+				// panic, an error result — so the forwarder never hangs.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							c <- panicResult(g.globals[i], r)
+						}
+					}()
+					if s == nil {
+						s = req.NewSearcher(vectorized)
+					}
+					c <- g.search(s, i, projs, masks)
+				}()
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(slots)
+	}()
+	for c := range slots {
+		res := <-c
+		out <- res
+		if res.Err != nil {
+			req.Stop.Store(true)
+		}
+	}
+}
+
+// Gather scatters req across the runners and stream-merges their
+// per-cluster results back in ascending global order, invoking emit
+// once per cluster. Each runner gets one bounded channel (req.Buffer);
+// merging is a k-way walk over the runners' ascending global lists, so
+// memory in flight is O(runners × buffer), never O(clusters). The first
+// error — a cluster's, or emit's — flips the shared stop flag, and
+// Gather drains every channel so all runner goroutines exit before it
+// returns that error.
+func Gather(runners []Runner, req *Request, emit func(ClusterResult) error) error {
+	if req.Stop == nil {
+		req.Stop = new(atomic.Bool)
+	}
+	total := 0
+	heads := make([][]int, len(runners))
+	for i, r := range runners {
+		heads[i] = r.Globals()
+		total += len(heads[i])
+	}
+	chans := make([]chan ClusterResult, len(runners))
+	for i, r := range runners {
+		chans[i] = make(chan ClusterResult, req.buffer())
+		go r.Run(req, chans[i])
+	}
+
+	var firstErr error
+	idx := make([]int, len(runners))
+	merged := 0
+	for merged < total {
+		// Pick the runner whose next cluster is globally smallest. Runner
+		// counts are small (≤ worker budget), so a linear scan beats heap
+		// bookkeeping.
+		pick, best := -1, 0
+		for i := range runners {
+			if idx[i] >= len(heads[i]) {
+				continue
+			}
+			if g := heads[i][idx[i]]; pick < 0 || g < best {
+				pick, best = i, g
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		res, ok := <-chans[pick]
+		if !ok {
+			// The runner stopped early (another runner's failure flipped
+			// the stop flag); its error, if any, surfaces in the drain.
+			break
+		}
+		idx[pick]++
+		if res.Err != nil {
+			firstErr = res.Err
+			break
+		}
+		if err := emit(res); err != nil {
+			firstErr = err
+			break
+		}
+		merged++
+	}
+
+	// Drain every channel to completion so all goroutines exit, adopting
+	// any error the merge loop didn't reach.
+	if merged < total {
+		req.Stop.Store(true)
+	}
+	for _, ch := range chans {
+		for res := range ch {
+			if firstErr == nil && res.Err != nil {
+				firstErr = res.Err
+			}
+		}
+	}
+	if firstErr == nil && merged < total {
+		// A runner under-delivered without reporting an error; surface it
+		// rather than returning a silently truncated result.
+		firstErr = fmt.Errorf("shard: scatter stopped after %d/%d clusters without error", merged, total)
+	}
+	return firstErr
+}

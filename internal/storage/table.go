@@ -252,26 +252,37 @@ func (t *Table) ClusterVersion(clusterBy, sequenceBy []string) ([][]Row, uint64,
 
 	if len(sidx) > 0 {
 		for _, g := range groups {
-			var sortErr error
-			sort.SliceStable(g, func(a, b int) bool {
-				for _, ci := range sidx {
-					c, err := g[a][ci].Compare(g[b][ci])
-					if err != nil {
-						sortErr = err
-						return false
-					}
-					if c != 0 {
-						return c < 0
-					}
-				}
-				return false
-			})
-			if sortErr != nil {
-				return nil, 0, sortErr
+			if err := SortBySequence(g, sidx); err != nil {
+				return nil, 0, err
 			}
 		}
 	}
 	return groups, version, nil
+}
+
+// SortBySequence stable-sorts rows ascending by the indexed sequence
+// columns — the exact ordering Cluster applies per group. The shard
+// layer sorts its per-shard cluster slabs through the same function so
+// sharded partitions are bit-identical to unsharded ones.
+func SortBySequence(rows []Row, sidx []int) error {
+	if len(sidx) == 0 {
+		return nil
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, ci := range sidx {
+			c, err := rows[a][ci].Compare(rows[b][ci])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
 }
 
 func (t *Table) resolve(names []string) ([]int, error) {
@@ -284,6 +295,22 @@ func (t *Table) resolve(names []string) ([]int, error) {
 		idx = append(idx, i)
 	}
 	return idx, nil
+}
+
+// ColumnIndexes resolves the named columns (case-insensitive) to their
+// schema indices, for callers that partition rows outside the table —
+// the shard layer groups snapshot rows with the same indices Cluster
+// uses internally.
+func (t *Table) ColumnIndexes(names []string) ([]int, error) {
+	return t.resolve(names)
+}
+
+// AppendRowKey appends a type-tagged encoding of the indexed columns of
+// r to b — the canonical cluster-key encoding. Cluster grouping and the
+// shard layer's hash placement both use it, so a row hashes to the same
+// shard its cluster groups under.
+func AppendRowKey(b []byte, r Row, idx []int) []byte {
+	return appendClusterKey(b, r, idx)
 }
 
 // appendClusterKey appends a type-tagged encoding of the cluster columns

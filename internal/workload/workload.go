@@ -128,6 +128,70 @@ func PlantDoubleBottom(prices []float64, at int) []float64 {
 	return prices
 }
 
+// ClusterWalks builds a quote(name, date, price) table with `clusters`
+// independent symbols of `rows` geometric-walk points each — the
+// many-small-clusters shape the shard-parallel executor targets. Every
+// plantEvery-th symbol (starting with the first; 0 disables planting)
+// is lengthened to 24 points and seeded with one guaranteed relaxed
+// double bottom, so match counts are deterministic and nonzero at any
+// scale. Symbols are inserted in name order, which makes name order,
+// first-appearance order, and cluster order coincide.
+func ClusterWalks(tableName string, seed int64, clusters, rows, plantEvery int) *storage.Table {
+	const plantedRows = 24 // anchor + 16-point shape + follower + walk tail
+	schema := storage.MustSchema(
+		storage.Column{Name: "name", Type: storage.TypeString},
+		storage.Column{Name: "date", Type: storage.TypeDate},
+		storage.Column{Name: "price", Type: storage.TypeFloat},
+	)
+	t := storage.NewTable(tableName, schema)
+	width := len(itoa(clusters - 1))
+	staged := make([]storage.Row, 0, clusters*rows)
+	for c := 0; c < clusters; c++ {
+		n := rows
+		planted := plantEvery > 0 && c%plantEvery == 0
+		if planted && n < plantedRows {
+			n = plantedRows
+		}
+		prices := GeometricWalk(WalkConfig{
+			Seed: seed + int64(c), N: n, Start: 100, Drift: 0.0003, Vol: 0.011,
+		})
+		if planted {
+			PlantDoubleBottom(prices, 4)
+		}
+		name := "s" + pad(itoa(c), width)
+		for i, p := range prices {
+			staged = append(staged, storage.Row{
+				storage.NewString(name), storage.NewDateDays(int64(i)), storage.NewFloat(p),
+			})
+		}
+	}
+	if err := t.InsertBatch(staged); err != nil {
+		panic(err) // rows are generated with the schema's own types
+	}
+	return t
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func pad(s string, width int) string {
+	for len(s) < width {
+		s = "0" + s
+	}
+	return s
+}
+
 // RandomText generates a deterministic random string over an alphabet,
 // for the KMP experiments.
 func RandomText(seed int64, n int, alphabet string) string {

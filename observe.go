@@ -60,6 +60,15 @@ type dbMetrics struct {
 	partitionCacheHits          *obs.Counter
 	partitionCacheMisses        *obs.Counter
 	partitionCacheInvalidations *obs.Counter
+
+	shardsConfigured   *obs.Gauge
+	shardQueries       *obs.Counter
+	shardCacheHits     *obs.Counter
+	shardCacheMisses   *obs.Counter
+	shardBuilds        *obs.Counter
+	shardRefreshes     *obs.Counter
+	shardShardsRebuilt *obs.Counter
+	shardShardsReused  *obs.Counter
 }
 
 func newDBMetrics() *dbMetrics {
@@ -140,6 +149,22 @@ func newDBMetrics() *dbMetrics {
 			"Executions that built a cluster partition."),
 		partitionCacheInvalidations: reg.Counter("sqlts_partition_cache_invalidations_total",
 			"Cached partitions replaced because the table version moved (inserts/loads)."),
+		shardsConfigured: reg.Gauge("sqlts_shards_configured",
+			"Shard count set via SetShards (0 or 1 = unsharded path)."),
+		shardQueries: reg.Counter("sqlts_shard_queries_total",
+			"Query executions served by the shard-parallel scatter-gather path."),
+		shardCacheHits: reg.Counter("sqlts_shard_cache_hits_total",
+			"Executions that reused a cached sharded partition unchanged."),
+		shardCacheMisses: reg.Counter("sqlts_shard_cache_misses_total",
+			"Executions that built or refreshed a sharded partition."),
+		shardBuilds: reg.Counter("sqlts_shard_builds_total",
+			"Sharded partitions built from scratch (cold, replaced table, or shard-count change)."),
+		shardRefreshes: reg.Counter("sqlts_shard_refreshes_total",
+			"Sharded partitions refreshed incrementally after appends."),
+		shardShardsRebuilt: reg.Counter("sqlts_shard_shards_rebuilt_total",
+			"Shards re-sorted by incremental refreshes (the shards appended rows landed in)."),
+		shardShardsReused: reg.Counter("sqlts_shard_shards_reused_total",
+			"Shards carried over untouched by incremental refreshes (memoized projections/masks kept)."),
 	}
 }
 
@@ -241,6 +266,9 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 	m.queryDuration.Observe(dur.Seconds())
 	if res.vectorized {
 		m.vectorizedRuns.Inc()
+	}
+	if res.shardCount > 1 {
+		m.shardQueries.Inc()
 	}
 
 	// Statement stats mirror the Result counters exactly: same values,

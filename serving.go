@@ -347,12 +347,14 @@ func (db *DB) SetPlanCacheCapacity(n int) {
 	}
 }
 
-// SetPartitionCacheCapacity resizes the partition cache; 0 disables
+// SetPartitionCacheCapacity resizes the partition cache (and the
+// sharded-partition cache, which shares the capacity); 0 disables
 // partition caching entirely.
 func (db *DB) SetPartitionCacheCapacity(n int) {
 	db.cacheMu.Lock()
 	defer db.cacheMu.Unlock()
 	db.parts.capacity = n
+	db.shardParts.resize(n)
 	if n <= 0 {
 		db.parts.purge()
 		return
@@ -372,6 +374,7 @@ func (db *DB) PurgeCaches() {
 	defer db.cacheMu.Unlock()
 	db.plans.purge()
 	db.parts.purge()
+	db.shardParts.purge()
 }
 
 // lookupPlan consults the plan cache. A hit returns a Plan that is

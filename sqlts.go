@@ -76,6 +76,12 @@ type DB struct {
 	plans   *planCache
 	parts   *partitionCache
 
+	// shardParts caches sharded table partitions (shards.go); nshards is
+	// the SetShards knob routing pattern queries through the
+	// scatter-gather path when ≥ 2.
+	shardParts *shardCache
+	nshards    atomic.Int64
+
 	metrics *dbMetrics
 
 	// Statement introspection (introspect.go): per-statement stats keyed
@@ -103,14 +109,15 @@ type DB struct {
 // New creates an empty database.
 func New() *DB {
 	return &DB{
-		tables:   map[string]*storage.Table{},
-		positive: map[string][]string{},
-		plans:    newPlanCache(defaultPlanCacheCapacity),
-		parts:    newPartitionCache(defaultPartitionCacheCapacity),
-		metrics:  newDBMetrics(),
-		stmts:    obs.NewStmtStore(defaultStatementCapacity),
-		slow:     newSlowLog(defaultSlowLogCapacity),
-		traces:   newTraceStore(defaultTraceCapacity),
+		tables:     map[string]*storage.Table{},
+		positive:   map[string][]string{},
+		plans:      newPlanCache(defaultPlanCacheCapacity),
+		parts:      newPartitionCache(defaultPartitionCacheCapacity),
+		shardParts: newShardCache(defaultPartitionCacheCapacity),
+		metrics:    newDBMetrics(),
+		stmts:      obs.NewStmtStore(defaultStatementCapacity),
+		slow:       newSlowLog(defaultSlowLogCapacity),
+		traces:     newTraceStore(defaultTraceCapacity),
 	}
 }
 
@@ -322,9 +329,13 @@ type RunOptions struct {
 	// Query (the path buffer is per-Query).
 	Trace bool
 	// Parallel searches clusters concurrently (one goroutine per cluster,
-	// bounded by GOMAXPROCS). Results are identical to serial execution,
+	// bounded by MaxWorkers). Results are identical to serial execution,
 	// including row order.
 	Parallel bool
+	// MaxWorkers bounds the fan-out of Parallel runs and of the
+	// shard-parallel path (SetShards): at most this many concurrent
+	// cluster searches. 0 keeps the default, GOMAXPROCS.
+	MaxWorkers int
 	// NoKernel disables the compiled columnar predicate kernels and
 	// evaluates every probe through the condition interpreter — for
 	// experiments and differential testing; results and statistics are
@@ -375,8 +386,13 @@ type Result struct {
 	planCached      bool
 	partitionCached bool
 	vectorized      bool
+	shardCount      int
 	maskStats       *pattern.MaskStats
 }
+
+// Shards reports the shard count the execution scattered across (0 when
+// it ran the unsharded path).
+func (r *Result) Shards() int { return r.shardCount }
 
 // Vectorized reports whether the execution probed through selection
 // bitmasks (batch mask kernels) rather than row-at-a-time evaluation.
@@ -875,6 +891,13 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 		return res, len(rows), nil
 	}
 
+	// The shard-parallel path (shards.go) owns its own cache with
+	// incremental per-shard refresh; NoCache and Trace runs stay on the
+	// flat path (the first bypasses caching entirely, the second needs
+	// the serial executor's path buffer).
+	if n := int(q.db.nshards.Load()); n > 1 && !opts.NoCache && !opts.Trace {
+		return q.runSharded(rc, res, t, opts, n)
+	}
 	part, cached, err := q.db.partition(t, compiled.ClusterBy, compiled.SequenceBy, opts.NoCache)
 	if err != nil {
 		return nil, 0, err
@@ -975,7 +998,7 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 	}
 	compiled := q.plan.compiled
 	outs := make([]clusterOut, len(clusters))
-	workers := runtime.GOMAXPROCS(0)
+	workers := effectiveWorkers(opts)
 	if workers > len(clusters) {
 		workers = len(clusters)
 	}
@@ -1021,9 +1044,11 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 		rc.addMatches(stats.Matches)
 		return out
 	}
-	// Buffered to the cluster count so the dispatch loop below never
-	// blocks on slow workers, and can stop early on failure.
-	next := make(chan int, len(clusters))
+	// Workers claim clusters off a shared atomic index — dispatch costs
+	// no per-query allocation proportional to the cluster count (a
+	// buffered channel here once meant a len(clusters)-int allocation per
+	// query) — and stop claiming as soon as any worker fails.
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -1035,9 +1060,10 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 			if masks != nil {
 				ex.SetVectorized(true)
 			}
-			for ci := range next {
-				if failed.Load() {
-					continue
+			for {
+				ci := int(next.Add(1) - 1)
+				if ci >= len(clusters) || failed.Load() {
+					return
 				}
 				out := searchCluster(ex, ci)
 				if out.err != nil {
@@ -1047,13 +1073,6 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 			}
 		}()
 	}
-	for ci := range clusters {
-		if failed.Load() {
-			break // a worker hit an error; don't feed the rest
-		}
-		next <- ci
-	}
-	close(next)
 	wg.Wait()
 
 	for ci := range outs {
@@ -1073,6 +1092,15 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 		res.Rows = append(res.Rows, outs[ci].rows...)
 	}
 	return res, nil
+}
+
+// effectiveWorkers resolves a run's parallel fan-out bound: an explicit
+// MaxWorkers wins, otherwise GOMAXPROCS.
+func effectiveWorkers(opts RunOptions) int {
+	if opts.MaxWorkers > 0 {
+		return opts.MaxWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // effectiveExecutor resolves the executor kind a run will use: an

@@ -69,6 +69,29 @@ func DoubleBottom(table string, threshold float64) string {
 		m.hi)
 }
 
+// DoubleBottomOver is DoubleBottom over a multi-series table: the same
+// relaxed pattern per series, partitioned with CLUSTER BY (the paper's
+// quote(name, date, price) shape). The leading clusterBy column in the
+// output identifies which series each match came from.
+func DoubleBottomOver(table, clusterBy string, threshold float64) string {
+	m := movesOf(threshold)
+	return fmt.Sprintf(`
+		SELECT X.%[2]s AS %[2]s,
+		       X.next.date AS start_date, X.next.price AS start_price,
+		       S.previous.date AS end_date, S.previous.price AS end_price
+		FROM %[1]s
+		  CLUSTER BY %[2]s
+		  SEQUENCE BY date
+		  AS (X, *Y, *Z, *T, *U, *V, *W, *R, S)
+		WHERE X.price >= %[3]s * X.previous.price
+		  AND %[4]s AND %[5]s AND %[6]s AND %[7]s AND %[8]s AND %[9]s AND %[10]s
+		  AND S.price <= %[11]s * S.previous.price`,
+		table, clusterBy, m.lo,
+		m.down("Y"), m.flat("Z"), m.up("T"), m.flat("U"),
+		m.down("V"), m.flat("W"), m.up("R"),
+		m.hi)
+}
+
 // DoubleTop is the mirror image: a local minimum surrounded by two local
 // maxima (an "M" shape).
 func DoubleTop(table string, threshold float64) string {
