@@ -179,6 +179,23 @@ func repl(db *sqlts.DB, in io.Reader, out io.Writer, kind sqlts.ExecutorKind, ov
 				} else {
 					fmt.Fprintf(out, "timeout: %s\n", timeout)
 				}
+			case trimmed == `\queries`:
+				if err := db.WriteActiveQueries(out); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
+			case strings.HasPrefix(trimmed, `\kill `):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\kill `))
+				id, err := strconv.ParseUint(arg, 10, 64)
+				if err != nil {
+					fmt.Fprintf(out, "usage: \\kill <id> (ids from \\queries)\n")
+					prompt()
+					continue
+				}
+				if err := db.KillQuery(id, `killed via \kill`); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprintf(out, "kill delivered to query %d\n", id)
+				}
 			case trimmed == `\cache`:
 				printCacheStats(db, out)
 			case trimmed == `\metrics`:

@@ -95,6 +95,28 @@ EXPLAIN ANALYZE SELECT A.p FROM q SEQUENCE BY d AS (A, B) WHERE B.p > A.p;
 	}
 }
 
+// TestREPLFlightCommands covers the flight-recorder meta-commands:
+// \queries lists the (empty) in-flight table, \kill validates its
+// argument and reports a miss for unknown ids.
+func TestREPLFlightCommands(t *testing.T) {
+	db := sqlts.New()
+	in := strings.NewReader("\\queries\n\\kill notanumber\n\\kill 424242\n\\q\n")
+	var out strings.Builder
+	if err := repl(db, in, &out, sqlts.OPSExec, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"0 in-flight queries", // \queries on an idle DB
+		`usage: \kill <id>`,   // malformed id
+		"no such in-flight",   // unknown id
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestREPLMultilineStatement(t *testing.T) {
 	db := sqlts.New()
 	in := strings.NewReader("CREATE TABLE t\n(a INT)\n;\n\\q\n")

@@ -237,6 +237,28 @@ func writeBenchJSON(path, variant string, seed int64, shardClusters int) error {
 	e.PredEvals = evals
 	doc.Entries = append(doc.Entries, e)
 
+	// Same warm path with the flight recorder off — the pair bounds the
+	// per-query overhead of the PR 10 active-query registry and
+	// wide-event ring (acceptance: warm vs warm-norecorder within 5%).
+	sdb.SetFlightRecorder(false)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sdb.Query(servingSQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.PlanCached() || !res.PartitionCached() {
+				b.Fatal("warm serving run missed a cache")
+			}
+			evals = res.Stats.PredEvals
+		}
+	})
+	e = entryOf("serving", "serving/warm-norecorder", variant, r)
+	e.PredEvals = evals
+	doc.Entries = append(doc.Entries, e)
+	sdb.SetFlightRecorder(true)
+
 	// Same warm path with statement introspection disabled — the pair
 	// bounds the per-query overhead of the PR 5 statement-stats layer
 	// (acceptance: warm vs warm-nointrospect within 5%).

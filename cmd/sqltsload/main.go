@@ -9,13 +9,15 @@
 //
 //	sqltsload [-clusters 100000] [-rows 10] [-plant 50] [-seed 1]
 //	          [-shards 8] [-workers 0] [-conc 8] [-duration 10s]
-//	          [-threshold 0.02] [-debug addr]
+//	          [-threshold 0.02] [-debug addr] [-events file]
 //
 // Every run re-checks that the match count equals the warm-up run's —
 // a cheap end-to-end guard that the sharded path stays bit-identical
 // under concurrency. -shards 1 drives the flat (unsharded) path for
 // A/B comparisons; -debug serves the DB's /debug surface (including
-// /debug/shards) for the duration of the run.
+// /debug/shards and /debug/queries) for the duration of the run;
+// -events streams the per-query wide-event log (JSON lines) to a file,
+// "-" for stdout.
 package main
 
 import (
@@ -44,16 +46,32 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
 	threshold := flag.Float64("threshold", 0.02, "relaxation threshold for the double-bottom pattern")
 	debug := flag.String("debug", "", "serve the /debug surface on this address for the run (e.g. localhost:6060)")
+	events := flag.String("events", "", "write the wide-event log (JSON lines) to this file; \"-\" = stdout")
 	flag.Parse()
 
-	if err := run(*clusters, *rows, *plant, *seed, *shards, *workers, *conc, *duration, *threshold, *debug); err != nil {
+	if err := run(*clusters, *rows, *plant, *seed, *shards, *workers, *conc, *duration, *threshold, *debug, *events); err != nil {
 		fmt.Fprintln(os.Stderr, "sqltsload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(clusters, rows, plant int, seed int64, shards, workers, conc int, duration time.Duration, threshold float64, debug string) error {
+func run(clusters, rows, plant int, seed int64, shards, workers, conc int, duration time.Duration, threshold float64, debug, events string) error {
 	db := sqlts.New()
+
+	var sink *obs.WriterSink
+	if events != "" {
+		w := os.Stdout
+		if events != "-" {
+			f, err := os.Create(events)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		sink = obs.NewWriterSink(w)
+		db.SetEventSink(sink)
+	}
 
 	buildStart := time.Now()
 	t := workload.ClusterWalks("quote", seed, clusters, rows, plant)
@@ -133,6 +151,16 @@ func run(clusters, rows, plant int, seed int64, shards, workers, conc int, durat
 	if snap, ok := statementSnapshot(db); ok {
 		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s (from statement introspection, %d calls)\n",
 			ms(snap.P50Ns), ms(snap.P95Ns), ms(snap.P99Ns), ms(snap.MaxNs), snap.Calls)
+	}
+	if sink != nil {
+		fmt.Printf("events: %d written", sink.Count())
+		if events != "-" {
+			fmt.Printf(" to %s", events)
+		}
+		fmt.Println()
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("event sink: %w", err)
+		}
 	}
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d queries failed", failed.Load())

@@ -78,6 +78,8 @@ func (db *DB) StartRuntimeSampler(interval time.Duration) (stop func()) {
 //	/metrics               Prometheus exposition (runtime gauges sampled per scrape)
 //	/debug/statements      per-statement stats — JSON, ?format=text for the table
 //	/debug/slowlog         retained slow-query log — JSON, ?format=text[&verbose=1]
+//	/debug/queries         in-flight queries — JSON, ?format=text for progress bars; POST id=<n> kills
+//	/debug/events          recent wide events — JSON, ?format=text
 //	/debug/trace/          retained-trace index (JSON)
 //	/debug/trace/<id>      one trace — Chrome trace-event JSON, ?format=text for the phase table
 //	/debug/pprof/*         net/http/pprof (profile, heap, goroutine, ...)
@@ -93,6 +95,8 @@ func (db *DB) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/statements", db.serveStatements)
 	mux.HandleFunc("/debug/slowlog", db.serveSlowLog)
 	mux.HandleFunc("/debug/shards", db.serveShards)
+	mux.HandleFunc("/debug/queries", db.serveQueries)
+	mux.HandleFunc("/debug/events", db.serveEvents)
 	mux.HandleFunc("/debug/trace/", db.serveTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -110,6 +114,8 @@ func (db *DB) DebugHandler() http.Handler {
   /debug/statements        per-statement stats (JSON; ?format=text)
   /debug/slowlog           slow-query log (JSON; ?format=text&verbose=1)
   /debug/shards            cached sharded partitions (JSON)
+  /debug/queries           in-flight queries (JSON; ?format=text for progress bars; POST id=<n> kills)
+  /debug/events            recent wide events (JSON; ?format=text)
   /debug/trace/            retained traces (index; /debug/trace/<id> for export)
   /debug/pprof/            Go profiling endpoints
 `)
@@ -133,6 +139,58 @@ func (db *DB) serveShards(w http.ResponseWriter, r *http.Request) {
 		Configured int                  `json:"configured_shards"`
 		Partitions []ShardPartitionInfo `json:"partitions"`
 	}{db.Shards(), db.ShardInfo()})
+}
+
+// serveQueries is the flight-recorder endpoint: GET lists the in-flight
+// executions (JSON, or text progress bars with ?format=text); POST with
+// an id form value kills the identified execution — the run observes
+// ErrKilled annotated "killed via /debug/queries" at its next
+// checkpoint.
+func (db *DB) serveQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		idStr := r.FormValue("id")
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "id must be an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		if err := db.KillQuery(id, "killed via /debug/queries"); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "kill delivered to query %d\n", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		db.WriteActiveQueries(w)
+		return
+	}
+	writeJSON(w, struct {
+		Queries []obs.FlightSnapshot `json:"queries"`
+	}{db.ActiveQueries()})
+}
+
+// serveEvents tails the retained wide-event ring, most recent first.
+func (db *DB) serveEvents(w http.ResponseWriter, r *http.Request) {
+	events := db.RecentEvents()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, ev := range events {
+			kind := "ok"
+			if ev.ErrorKind != "" {
+				kind = ev.ErrorKind
+			}
+			fmt.Fprintf(w, "%s  [%d] %-8s %s  %s  rows=%d pred-evals=%d\n",
+				ev.Time.Format(time.RFC3339), ev.QueryID, kind,
+				time.Duration(ev.DurationNs).Round(time.Microsecond), oneLine(ev.SQL), ev.Rows, ev.PredEvals)
+		}
+		return
+	}
+	writeJSON(w, struct {
+		Events []obs.Event `json:"events"`
+	}{events})
 }
 
 func (db *DB) serveSlowLog(w http.ResponseWriter, r *http.Request) {

@@ -154,6 +154,54 @@ func TestDebugHandlerSmoke(t *testing.T) {
 		t.Errorf("bad trace id returned %d, want 400", code)
 	}
 
+	// /debug/queries: empty in-flight list (the query finished), both
+	// renderings.
+	code, body = get("/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries returned %d", code)
+	}
+	var flights struct {
+		Queries []struct {
+			ID uint64 `json:"id"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &flights); err != nil {
+		t.Fatalf("/debug/queries is not valid JSON: %v\n%s", err, body)
+	}
+	if len(flights.Queries) != 0 {
+		t.Errorf("/debug/queries lists %d flights after completion:\n%s", len(flights.Queries), body)
+	}
+	code, body = get("/debug/queries?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "in-flight") {
+		t.Errorf("/debug/queries?format=text: code %d body:\n%s", code, body)
+	}
+
+	// /debug/events holds the completed run's wide event.
+	code, body = get("/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events returned %d", code)
+	}
+	var evs struct {
+		Events []struct {
+			SQL       string `json:"sql"`
+			PredEvals int64  `json:"pred_evals"`
+			Slow      bool   `json:"slow"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/debug/events is not valid JSON: %v\n%s", err, body)
+	}
+	if len(evs.Events) != 1 || evs.Events[0].SQL == "" || evs.Events[0].PredEvals == 0 {
+		t.Errorf("/debug/events content wrong:\n%s", body)
+	}
+	if !evs.Events[0].Slow {
+		t.Errorf("event not flagged slow despite the 1ns threshold:\n%s", body)
+	}
+	code, body = get("/debug/events?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "pred-evals=") {
+		t.Errorf("/debug/events?format=text: code %d body:\n%s", code, body)
+	}
+
 	// /debug/pprof/ index and a cheap profile.
 	code, body = get("/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {

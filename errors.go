@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqlts/internal/engine"
 	"sqlts/internal/obs"
 )
 
@@ -28,6 +29,12 @@ var (
 	// timeout.
 	ErrAdmissionRejected = errors.New("sqlts: query rejected by admission control")
 )
+
+// ErrKilled reports a run terminated by an operator (the /debug/queries
+// POST kill or the REPL \kill). It wraps ErrCanceled, so existing
+// errors.Is(err, ErrCanceled) handling keeps working; errors.Is against
+// ErrKilled distinguishes the operator kill.
+var ErrKilled = fmt.Errorf("%w: killed by operator", ErrCanceled)
 
 // PanicError is a predicate or executor panic contained at the query
 // boundary: the process survives, the failing run returns this error.
@@ -66,6 +73,10 @@ func classifyError(err error) obs.ErrClass {
 		return obs.ErrPanic
 	case errors.Is(err, ErrDeadlineExceeded):
 		return obs.ErrDeadline
+	case errors.Is(err, ErrKilled):
+		// Before ErrCanceled: a kill wraps the cancel sentinel, and the
+		// split is the point.
+		return obs.ErrKilled
 	case errors.Is(err, ErrCanceled):
 		return obs.ErrCanceled
 	case errors.Is(err, ErrBudgetExceeded):
@@ -87,23 +98,58 @@ type runControl struct {
 	maxMatches int64           // 0 = unlimited
 	maxScanned int64           // 0 = unlimited
 	matches    atomic.Int64
+
+	// flight is the run's active-query registration (nil with the
+	// recorder off). Checkpoints consult its kill flag, which is what
+	// makes every registered run killable — even one launched without a
+	// context.
+	flight *obs.Flight
 }
 
 // newRunControl builds the control for one run, or nil when the run has
-// no context and no budgets (the common uncancellable case).
-func newRunControl(ctx context.Context, opts RunOptions) *runControl {
-	if ctx == nil && opts.MaxMatches == 0 && opts.MaxRowsScanned == 0 {
+// no context, no budgets, and no flight registration (the common
+// uncancellable case).
+func newRunControl(ctx context.Context, opts RunOptions, fl *obs.Flight) *runControl {
+	if ctx == nil && opts.MaxMatches == 0 && opts.MaxRowsScanned == 0 && fl == nil {
 		return nil
 	}
 	rc := &runControl{
 		ctx:        ctx,
 		maxMatches: opts.MaxMatches,
 		maxScanned: opts.MaxRowsScanned,
+		flight:     fl,
 	}
 	if ctx != nil {
 		rc.done = ctx.Done()
 	}
 	return rc
+}
+
+// flightRef returns the run's flight registration (nil-safe).
+func (rc *runControl) flightRef() *obs.Flight {
+	if rc == nil {
+		return nil
+	}
+	return rc.flight
+}
+
+// interrupt returns the checkpoint function executors install via
+// SetInterrupt. With a flight registered it also ticks the live
+// predicate-evaluation counter — the engine consults the checkpoint
+// once per engine.CheckpointInterval evals, so the flight's live count
+// trails the exact figure by at most one interval per worker.
+func (rc *runControl) interrupt() func() error {
+	if rc == nil {
+		return nil
+	}
+	f := rc.flight
+	if f == nil {
+		return rc.check
+	}
+	return func() error {
+		f.TickPredEvals(engine.CheckpointInterval)
+		return rc.check()
+	}
 }
 
 // check is the cooperative cancellation checkpoint: a typed error means
@@ -113,13 +159,19 @@ func newRunControl(ctx context.Context, opts RunOptions) *runControl {
 // inlining, so unconstrained runs (nil rc, or a context that can never
 // be canceled) pay only an inlined comparison at every call site.
 func (rc *runControl) check() error {
-	if rc == nil || (rc.done == nil && rc.maxMatches == 0) {
+	if rc == nil || (rc.done == nil && rc.maxMatches == 0 && rc.flight == nil) {
 		return nil
 	}
 	return rc.checkSlow()
 }
 
 func (rc *runControl) checkSlow() error {
+	// The kill flag outranks the context: an operator kill usually also
+	// cancels the run's context (via Flight.SetCancel), and the typed
+	// ErrKilled must win over the generic cancellation it triggers.
+	if err := rc.flight.KillErr(); err != nil {
+		return err
+	}
 	if rc.done != nil {
 		select {
 		case <-rc.done:

@@ -95,7 +95,7 @@ func (q *Query) explainAnalyzeText(opts RunOptions) (string, engine.Stats, error
 		// Diagnostic re-run: no admission slot, no metrics, and the
 		// caller's budgets don't apply (the comparison must complete to
 		// be meaningful) — but panics are still contained by execute.
-		nres, _, nerr := q.execute(newRunControl(opts.Context, RunOptions{}), nopts)
+		nres, _, nerr := q.execute(newRunControl(opts.Context, RunOptions{}, nil), nopts)
 		if nerr != nil {
 			return "", engine.Stats{}, nerr
 		}

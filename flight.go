@@ -1,0 +1,292 @@
+package sqlts
+
+// The query flight recorder (live-operations layer): every Run and
+// open Stream registers a Flight in the DB's active-query registry,
+// executors tick its progress counters as they go — per shard on the
+// scatter-gather path — and each completed execution emits one
+// structured wide event. /debug/queries (debug.go) lists the in-flight
+// registrations and accepts a POST kill that lands in the PR 7
+// cancellation path as ErrKilled; /debug/events tails the retained
+// wide-event ring.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sqlts/internal/obs"
+)
+
+// defaultEventRingCapacity bounds the in-memory wide-event tail served
+// by /debug/events.
+const defaultEventRingCapacity = 256
+
+// ErrNoSuchQuery reports a KillQuery id that matched no in-flight
+// execution (already finished, or never existed).
+var ErrNoSuchQuery = errors.New("sqlts: no such in-flight query")
+
+// eventSinkBox wraps the sink interface so it can live in an
+// atomic.Pointer (interfaces cannot).
+type eventSinkBox struct{ sink obs.EventSink }
+
+// flightState is the DB's flight-recorder state, embedded in DB.
+type flightState struct {
+	// flights is the active-query registry; off disables registration
+	// (and the wide-event ring) entirely for overhead measurements.
+	flights *obs.FlightRegistry
+	off     atomic.Bool
+
+	// sink is the pluggable wide-event destination (nil = none);
+	// sample emits 1 event in N to the sink (slow and failed runs
+	// bypass sampling); ring is the retained tail for /debug/events.
+	sink      atomic.Pointer[eventSinkBox]
+	sample    atomic.Int64
+	eventSeq  atomic.Int64
+	ring      atomic.Pointer[obs.EventRing]
+	slowEvent atomic.Int64 // threshold ns for the event's slow flag
+}
+
+// SetFlightRecorder enables or disables the active-query registry and
+// the wide-event ring (both on by default). Disabling stops new
+// registrations; flights already in the registry finish normally. The
+// event sink, when set, keeps receiving events either way.
+func (db *DB) SetFlightRecorder(on bool) {
+	db.flight.off.Store(!on)
+}
+
+// FlightRecorderEnabled reports whether new executions register
+// flights.
+func (db *DB) FlightRecorderEnabled() bool { return !db.flight.off.Load() }
+
+// ActiveQueries snapshots the in-flight executions (queries and open
+// streams), oldest first.
+func (db *DB) ActiveQueries() []obs.FlightSnapshot {
+	return db.flight.flights.Snapshot()
+}
+
+// KillQuery terminates the identified in-flight execution: the run
+// observes ErrKilled — wrapping ErrCanceled, annotated with reason —
+// at its next cooperative checkpoint, and any registered context
+// cancel fires immediately. ErrNoSuchQuery when the id matches no
+// in-flight execution (it may have just finished).
+func (db *DB) KillQuery(id uint64, reason string) error {
+	err := ErrKilled
+	if reason != "" {
+		err = fmt.Errorf("%w (%s)", ErrKilled, reason)
+	}
+	if !db.flight.flights.Kill(id, err) {
+		return fmt.Errorf("%w: id %d", ErrNoSuchQuery, id)
+	}
+	db.metrics.queriesKilledSent.Inc()
+	return nil
+}
+
+// registerFlight registers one run in the active-query registry (nil
+// when the recorder is off). The caller deregisters via deferred
+// Deregister.
+func (db *DB) registerFlight(key, executor string, planRevision int64, phase obs.FlightPhase) *obs.Flight {
+	if db.flight.off.Load() {
+		return nil
+	}
+	fl := db.flight.flights.Register(key, executor, planRevision, phase)
+	db.metrics.flightsActive.Inc()
+	return fl
+}
+
+// deregisterFlight drops a finished run's registration.
+func (db *DB) deregisterFlight(fl *obs.Flight) {
+	if fl == nil {
+		return
+	}
+	db.flight.flights.Deregister(fl)
+	db.metrics.flightsActive.Dec()
+}
+
+// SetEventSink installs the wide-event destination: one JSON-able
+// obs.Event per completed query/stream is handed to it (sampled per
+// SetEventSampleRate; slow and failed runs always emit). nil removes
+// the sink. Events also land in the in-memory ring for /debug/events
+// whenever the flight recorder is on, sink or not.
+func (db *DB) SetEventSink(s obs.EventSink) {
+	if s == nil {
+		db.flight.sink.Store(nil)
+		return
+	}
+	db.flight.sink.Store(&eventSinkBox{sink: s})
+}
+
+// SetEventSampleRate emits 1 event in n to the sink (n ≤ 1 = every
+// event). Slow and failed executions bypass sampling — those are the
+// events an operator greps for.
+func (db *DB) SetEventSampleRate(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.flight.sample.Store(int64(n))
+}
+
+// SetEventRingCapacity resizes the retained wide-event tail served by
+// /debug/events (default 256; 0 disables retention).
+func (db *DB) SetEventRingCapacity(n int) {
+	db.flight.ring.Load().SetCapacity(n)
+}
+
+// RecentEvents returns the retained wide events, most recent first.
+func (db *DB) RecentEvents() []obs.Event {
+	return db.flight.ring.Load().Snapshot()
+}
+
+// emitEvent assembles and routes one completion wide event. res is nil
+// for failed runs; runErr is nil for successes. Cheap exits first: with
+// the recorder off and no sink installed, this is two atomic loads.
+func (db *DB) emitEvent(q *Query, opts RunOptions, fl *obs.Flight, res *Result, scanned int, dur, admWait time.Duration, runErr error) {
+	box := db.flight.sink.Load()
+	recorderOn := !db.flight.off.Load()
+	if box == nil && !recorderOn {
+		return
+	}
+	ev := obs.Event{
+		Time:            time.Now(),
+		QueryID:         fl.ID(),
+		SQL:             q.plan.key,
+		Executor:        q.effectiveExecutor(opts).String(),
+		DurationNs:      dur.Nanoseconds(),
+		AdmissionWaitNs: admWait.Nanoseconds(),
+		PlanCached:      q.planCached,
+		Kernel:          !opts.NoKernel && q.plan.kernel != nil && q.plan.kernel.CompiledElems() > 0,
+		PlanRevision:    int64(q.plan.revision),
+	}
+	if res != nil {
+		ev.Rows = int64(len(res.Rows))
+		ev.RowsScanned = int64(scanned)
+		ev.Clusters = int64(len(res.clusterStats))
+		ev.PredEvals = res.Stats.PredEvals
+		ev.Rollbacks = res.Stats.Rollbacks
+		ev.Matches = int64(res.Stats.Matches)
+		ev.PartitionCached = res.partitionCached
+		ev.Vectorized = res.vectorized
+		ev.Shards = res.shardCount
+	}
+	if runErr != nil {
+		ev.Error = runErr.Error()
+		ev.ErrorKind = classifyError(runErr).String()
+	}
+	if th := db.flight.slowEvent.Load(); th > 0 && dur.Nanoseconds() >= th {
+		ev.Slow = true
+	}
+	db.routeEvent(ev, box, recorderOn)
+}
+
+// routeEvent delivers one assembled event to the ring and, subject to
+// sampling, the sink. Error and slow events bypass sampling.
+func (db *DB) routeEvent(ev obs.Event, box *eventSinkBox, recorderOn bool) {
+	if recorderOn {
+		db.flight.ring.Load().Add(ev)
+	}
+	if box == nil {
+		return
+	}
+	if n := db.flight.sample.Load(); n > 1 && ev.Error == "" && !ev.Slow {
+		if db.flight.eventSeq.Add(1)%n != 0 {
+			return
+		}
+	}
+	db.metrics.eventsEmitted.Inc()
+	box.sink.Emit(ev)
+}
+
+// emitStreamEvent emits the wide event of one closed stream: the
+// push/match totals with the stream flag set.
+func (db *DB) emitStreamEvent(st *Stream, runErr error) {
+	box := db.flight.sink.Load()
+	recorderOn := !db.flight.off.Load()
+	if box == nil && !recorderOn {
+		return
+	}
+	stats := st.Stats()
+	ev := obs.Event{
+		Time:      time.Now(),
+		QueryID:   st.flight.ID(),
+		SQL:       st.q.plan.key,
+		Stream:    true,
+		PredEvals: stats.PredEvals,
+		Rollbacks: stats.Rollbacks,
+		Matches:   int64(stats.Matches),
+	}
+	if fl := st.flight; fl != nil {
+		snap := fl.Snapshot()
+		ev.DurationNs = snap.ElapsedNs
+		ev.Pushes = snap.Pushes
+		ev.RowsScanned = snap.RowsScanned
+	}
+	if runErr != nil {
+		ev.Error = runErr.Error()
+		ev.ErrorKind = classifyError(runErr).String()
+	}
+	db.routeEvent(ev, box, recorderOn)
+}
+
+// WriteActiveQueries renders the in-flight table as text with per-query
+// (and per-shard) progress bars, for /debug/queries?format=text and the
+// REPL \queries.
+func (db *DB) WriteActiveQueries(w io.Writer) error {
+	snaps := db.ActiveQueries()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d in-flight quer%s\n", len(snaps), plural(len(snaps), "y", "ies"))
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "\n[%d] %s  %s", s.ID, s.Phase, oneLine(s.SQL))
+		if s.Killed {
+			b.WriteString("  (kill pending)")
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "     elapsed %s  executor=%s", time.Duration(s.ElapsedNs).Round(time.Millisecond), s.Executor)
+		if s.PlanRevision > 0 {
+			fmt.Fprintf(&b, "  rev=%d", s.PlanRevision)
+		}
+		b.WriteByte('\n')
+		if s.Pushes > 0 || s.Phase == "streaming" {
+			fmt.Fprintf(&b, "     pushes=%d matches=%d pred-evals=%d\n", s.Pushes, s.Matches, s.PredEvals)
+			continue
+		}
+		fmt.Fprintf(&b, "     clusters %s %d/%d  rows=%d matches=%d pred-evals=%d\n",
+			progressBar(s.ClustersDone, s.ClustersTotal, 20), s.ClustersDone, s.ClustersTotal,
+			s.RowsScanned, s.Matches, s.PredEvals)
+		for _, sh := range s.Shards {
+			fmt.Fprintf(&b, "       shard %2d %s %d/%d clusters (%d rows)\n",
+				sh.ID, progressBar(sh.Done, sh.Clusters, 20), sh.Done, sh.Clusters, sh.Rows)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// progressBar renders done/total as a fixed-width bar; unknown totals
+// render as spinnerless dashes.
+func progressBar(done, total int64, width int) string {
+	if total <= 0 {
+		return "[" + strings.Repeat("-", width) + "]"
+	}
+	if done > total {
+		done = total
+	}
+	filled := int(done * int64(width) / total)
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}
+
+func oneLine(sql string) string {
+	s := strings.Join(strings.Fields(sql), " ")
+	if len(s) > 120 {
+		s = s[:117] + "..."
+	}
+	return s
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -31,6 +31,12 @@ type Interrupt struct{ Err error }
 // branch per eval plus a rare function call.
 const checkpointMask = 1<<10 - 1
 
+// CheckpointInterval is the predicate-evaluation cadence of the
+// cooperative checkpoint: SetInterrupt callbacks run once per this many
+// evals. Exported so the serving layer can account live progress in
+// checkpoint-sized increments.
+const CheckpointInterval = checkpointMask + 1
+
 // Fault-injection sites on the engine's hot paths. Disarmed they cost
 // one atomic load, paid only at amortized checkpoints (eval) or on the
 // mismatch path (shift), never per row.
@@ -186,11 +192,11 @@ type evaluator struct {
 	// (vectorized, no cross conditions); nil sends the probe through the
 	// kernel's masked dispatch. Rebuilt by reset, reusing the backing
 	// array.
-	pure [][]uint64
-	stats     Stats
-	trace     []PathPoint
-	doTrc     bool
-	ctx       pattern.EvalContext
+	pure  [][]uint64
+	stats Stats
+	trace []PathPoint
+	doTrc bool
+	ctx   pattern.EvalContext
 	// check is the cooperative cancellation checkpoint, consulted every
 	// checkpointMask+1 predicate evaluations; nil when no cancellation
 	// is configured (the default, so uncancellable runs pay only the

@@ -137,6 +137,9 @@ type ErrClass uint8
 
 // Error classes. ErrOther is every failure outside the lifecycle
 // taxonomy (analysis errors, missing tables, predicate type errors).
+// ErrKilled is the operator-kill subset of cancellation — split out so
+// a human killing a runaway query via /debug/queries is
+// distinguishable from an application context going away.
 const (
 	ErrOther ErrClass = iota
 	ErrCanceled
@@ -144,7 +147,28 @@ const (
 	ErrBudget
 	ErrPanic
 	ErrRejected
+	ErrKilled
 )
+
+// String names the class for wide events and text renderings.
+func (c ErrClass) String() string {
+	switch c {
+	case ErrCanceled:
+		return "canceled"
+	case ErrDeadline:
+		return "deadline"
+	case ErrBudget:
+		return "budget"
+	case ErrPanic:
+		return "panic"
+	case ErrRejected:
+		return "rejected"
+	case ErrKilled:
+		return "killed"
+	default:
+		return "other"
+	}
+}
 
 // QueryObs carries one finished query execution into the store: plain
 // integers so the caller's engine types stay out of this package.
@@ -299,6 +323,7 @@ type StmtStats struct {
 	budget    atomic.Int64
 	panics    atomic.Int64
 	rejected  atomic.Int64
+	killed    atomic.Int64
 	admWaitNs atomic.Int64
 	rows      atomic.Int64
 	scanned   atomic.Int64
@@ -394,6 +419,8 @@ func (s *StmtStats) RecordError(c ErrClass) {
 		s.panics.Add(1)
 	case ErrRejected:
 		s.rejected.Add(1)
+	case ErrKilled:
+		s.killed.Add(1)
 	}
 }
 
@@ -479,7 +506,11 @@ type StmtSnapshot struct {
 	BudgetExceeded    int64 `json:"budget_exceeded,omitempty"`
 	Panics            int64 `json:"panics,omitempty"`
 	AdmissionRejected int64 `json:"admission_rejected,omitempty"`
-	AdmissionWaitNs   int64 `json:"admission_wait_ns,omitempty"`
+	// Killed counts operator kills (the /debug/queries POST or the REPL
+	// \kill), a disjoint subset from Canceled — the two together are the
+	// statement's cancellation-shaped failures.
+	Killed          int64 `json:"killed,omitempty"`
+	AdmissionWaitNs int64 `json:"admission_wait_ns,omitempty"`
 
 	Rows        int64 `json:"rows"`
 	RowsScanned int64 `json:"rows_scanned"`
@@ -541,6 +572,7 @@ func (s *StmtStats) Snapshot() StmtSnapshot {
 		BudgetExceeded:    s.budget.Load(),
 		Panics:            s.panics.Load(),
 		AdmissionRejected: s.rejected.Load(),
+		Killed:            s.killed.Load(),
 		AdmissionWaitNs:   s.admWaitNs.Load(),
 
 		Rows:        s.rows.Load(),

@@ -68,6 +68,14 @@ type Request struct {
 	// capacity between a runner and the gatherer); values < 1 mean 1.
 	Buffer int
 
+	// OnCluster, when non-nil, is invoked by runners after each
+	// successful cluster result is handed off: shardID is the owning
+	// shard's ID, global the cluster's table-wide index. It runs on
+	// runner goroutines concurrently across groups — implementations
+	// must be cheap and concurrency-safe. Per-shard progress reporting
+	// hangs off this hook.
+	OnCluster func(shardID, global int)
+
 	// Stop is the scatter-wide early-stop flag: the first error flips it
 	// and every runner stops claiming new clusters. Gather initializes
 	// it when nil; callers share one across requests to link stops.
@@ -294,6 +302,9 @@ func (g *Group) Run(req *Request, out chan<- ClusterResult) {
 				req.Stop.Store(true)
 				return
 			}
+			if req.OnCluster != nil {
+				req.OnCluster(g.shards[g.refs[i].slot].ID(), g.globals[i])
+			}
 		}
 		return
 	}
@@ -345,12 +356,19 @@ func (g *Group) Run(req *Request, out chan<- ClusterResult) {
 		wg.Wait()
 		close(slots)
 	}()
+	// Slot order equals claim order equals ascending ref order, so the
+	// forwarder's position fi identifies each result's ref without any
+	// extra plumbing through the slot channels.
+	fi := 0
 	for c := range slots {
 		res := <-c
 		out <- res
 		if res.Err != nil {
 			req.Stop.Store(true)
+		} else if req.OnCluster != nil {
+			req.OnCluster(g.shards[g.refs[fi].slot].ID(), g.globals[fi])
 		}
+		fi++
 	}
 }
 

@@ -265,9 +265,9 @@ func (db *DB) WriteStatementStats(w io.Writer) error {
 				time.Duration(s.PushP50Ns).Round(time.Microsecond),
 				time.Duration(s.PushP99Ns).Round(time.Microsecond))
 		}
-		if s.Canceled+s.DeadlineExceeded+s.BudgetExceeded+s.Panics+s.AdmissionRejected+s.AdmissionWaitNs > 0 {
-			fmt.Fprintf(&b, "%8s errors: canceled=%d deadline=%d budget=%d panics=%d rejected=%d adm-wait=%s\n",
-				"", s.Canceled, s.DeadlineExceeded, s.BudgetExceeded, s.Panics, s.AdmissionRejected,
+		if s.Canceled+s.DeadlineExceeded+s.BudgetExceeded+s.Panics+s.AdmissionRejected+s.Killed+s.AdmissionWaitNs > 0 {
+			fmt.Fprintf(&b, "%8s errors: canceled=%d killed=%d deadline=%d budget=%d panics=%d rejected=%d adm-wait=%s\n",
+				"", s.Canceled, s.Killed, s.DeadlineExceeded, s.BudgetExceeded, s.Panics, s.AdmissionRejected,
 				time.Duration(s.AdmissionWaitNs).Round(time.Microsecond))
 		}
 	}

@@ -69,6 +69,11 @@ type dbMetrics struct {
 	shardRefreshes     *obs.Counter
 	shardShardsRebuilt *obs.Counter
 	shardShardsReused  *obs.Counter
+
+	flightsActive     *obs.Gauge
+	queriesKilled     *obs.Counter
+	queriesKilledSent *obs.Counter
+	eventsEmitted     *obs.Counter
 }
 
 func newDBMetrics() *dbMetrics {
@@ -165,6 +170,14 @@ func newDBMetrics() *dbMetrics {
 			"Shards re-sorted by incremental refreshes (the shards appended rows landed in)."),
 		shardShardsReused: reg.Counter("sqlts_shard_shards_reused_total",
 			"Shards carried over untouched by incremental refreshes (memoized projections/masks kept)."),
+		flightsActive: reg.Gauge("sqlts_flights_active",
+			"Executions currently registered in the active-query registry."),
+		queriesKilled: reg.Counter("sqlts_queries_killed_total",
+			"Executions terminated by an operator kill (/debug/queries POST or REPL \\kill)."),
+		queriesKilledSent: reg.Counter("sqlts_kill_requests_total",
+			"Operator kill requests that matched an in-flight execution."),
+		eventsEmitted: reg.Counter("sqlts_events_emitted_total",
+			"Wide events delivered to the configured event sink."),
 	}
 }
 
@@ -203,13 +216,16 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration, fn func(SlowQueryInfo)) {
 	defer db.slowMu.Unlock()
 	db.slowThreshold = d
 	db.slowFn = fn
+	// Wide events reuse the same threshold for their slow flag (and the
+	// sink's sampling bypass).
+	db.flight.slowEvent.Store(d.Nanoseconds())
 }
 
 // failRun records one failed execution: the error counter, the typed
 // error-class breakdown (metrics + statement stats), and — for contained
 // panics — the panic counter and a slow-log record carrying the captured
 // stack.
-func (db *DB) failRun(q *Query, opts RunOptions, err error, admWait time.Duration) {
+func (db *DB) failRun(q *Query, opts RunOptions, fl *obs.Flight, err error, dur, admWait time.Duration) {
 	m := db.metrics
 	m.queryErrors.Inc()
 	class := classifyError(err)
@@ -224,6 +240,11 @@ func (db *DB) failRun(q *Query, opts RunOptions, err error, admWait time.Duratio
 		m.queryPanics.Inc()
 	case obs.ErrRejected:
 		m.admissionRejected.Inc()
+	case obs.ErrKilled:
+		// Disjoint from queriesCanceled: a kill wraps the cancel sentinel
+		// but classifies first, so operator kills never inflate the
+		// plain-cancellation counter.
+		m.queriesKilled.Inc()
 	}
 	entry := db.stmts.Get(q.plan.key)
 	entry.RecordError(class)
@@ -231,6 +252,7 @@ func (db *DB) failRun(q *Query, opts RunOptions, err error, admWait time.Duratio
 	if class == obs.ErrPanic {
 		db.recordPanic(q, opts, err, entry)
 	}
+	db.emitEvent(q, opts, fl, nil, 0, dur, admWait, err)
 }
 
 // recordPanic lands a contained panic in the slow-query log (whatever
@@ -254,7 +276,7 @@ func (db *DB) recordPanic(q *Query, opts RunOptions, err error, entry *obs.StmtS
 // observeRun records one finished execution in the metrics registry and
 // the statement-stats store, samples the lifecycle trace, and feeds the
 // slow-query log and hook.
-func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, dur, admWait time.Duration) {
+func (db *DB) observeRun(q *Query, opts RunOptions, fl *obs.Flight, res *Result, scanned int, dur, admWait time.Duration) {
 	m := db.metrics
 	m.queries.Inc()
 	m.rowsScanned.Add(int64(scanned))
@@ -298,6 +320,8 @@ func (db *DB) observeRun(q *Query, opts RunOptions, res *Result, scanned int, du
 			db.retainTrace(q, entry, false)
 		}
 	}
+
+	db.emitEvent(q, opts, fl, res, scanned, dur, admWait, nil)
 
 	db.slowMu.Lock()
 	threshold, fn := db.slowThreshold, db.slowFn

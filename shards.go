@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"sqlts/internal/engine"
+	"sqlts/internal/obs"
 	"sqlts/internal/pattern"
 	"sqlts/internal/shard"
 	"sqlts/internal/storage"
@@ -240,6 +241,15 @@ func (q *Query) runSharded(rc *runControl, res *Result, t *storage.Table, opts R
 	}
 	res.partitionCached = cached
 	res.shardCount = sp.NumShards()
+	fl := rc.flightRef()
+	if fl != nil {
+		specs := make([]obs.ShardSpec, 0, sp.NumShards())
+		for _, s := range sp.Shards() {
+			specs = append(specs, obs.ShardSpec{ID: s.ID(), Clusters: s.NumClusters(), Rows: s.RowCount()})
+		}
+		fl.SetShards(specs)
+		fl.SetClustersTotal(int64(sp.NumClusters()))
+	}
 	if sp.NumClusters() == 0 {
 		return res, scanned, nil
 	}
@@ -272,7 +282,7 @@ func (q *Query) runSharded(rc *runControl, res *Result, t *storage.Table, opts R
 		NewSearcher: func(vectorized bool) shard.Searcher {
 			ex := q.newExecutor(opts, policy)
 			if rc != nil {
-				ex.SetInterrupt(rc.check)
+				ex.SetInterrupt(rc.interrupt())
 			}
 			if vectorized {
 				ex.SetVectorized(true)
@@ -280,8 +290,16 @@ func (q *Query) runSharded(rc *runControl, res *Result, t *storage.Table, opts R
 			return &clusterSearcher{q: q, rc: rc, ex: ex}
 		},
 	}
+	if fl != nil {
+		req.OnCluster = func(shardID, global int) { fl.ShardDone(shardID) }
+	}
 	groups := shard.Layout(sp, effectiveWorkers(opts))
 	err = shard.Gather(shard.Runners(groups), req, func(cr shard.ClusterResult) error {
+		if fl != nil {
+			fl.TickClusters(1)
+			fl.TickRows(int64(cr.Rows))
+			fl.TickMatches(int64(cr.Stats.Matches))
+		}
 		res.Stats.Add(cr.Stats)
 		res.clusterStats = append(res.clusterStats, ClusterStat{Cluster: cr.Global, Rows: cr.Rows, Stats: cr.Stats})
 		if len(cr.Matches) > 0 {

@@ -28,6 +28,7 @@ package sqlts
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -97,6 +98,11 @@ type DB struct {
 	slowThreshold time.Duration
 	slowFn        func(SlowQueryInfo)
 
+	// flight is the query flight recorder (flight.go): the active-query
+	// registry behind /debug/queries and remote kill, plus the wide-event
+	// sink/ring.
+	flight flightState
+
 	// admit is the concurrent-query admission gate (admission.go);
 	// unlimited until SetMaxConcurrentQueries.
 	admit admission
@@ -108,7 +114,7 @@ type DB struct {
 
 // New creates an empty database.
 func New() *DB {
-	return &DB{
+	db := &DB{
 		tables:     map[string]*storage.Table{},
 		positive:   map[string][]string{},
 		plans:      newPlanCache(defaultPlanCacheCapacity),
@@ -119,6 +125,10 @@ func New() *DB {
 		slow:       newSlowLog(defaultSlowLogCapacity),
 		traces:     newTraceStore(defaultTraceCapacity),
 	}
+	db.flight.flights = obs.NewFlightRegistry()
+	db.flight.ring.Store(obs.NewEventRing(defaultEventRingCapacity))
+	db.flight.sample.Store(1)
+	return db
 }
 
 // Exec runs one or more semicolon-separated DDL/DML statements
@@ -784,11 +794,27 @@ func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
 		ctx, cancel = deadlineContext(ctx, opts.Deadline)
 		defer cancel()
 	}
-	rc := newRunControl(ctx, opts)
+	// Register the run in the active-query registry (nil with the
+	// recorder off). Context runs get a derived cancel wired to the
+	// flight, so an operator kill interrupts even a blocked admission
+	// wait; context-free runs observe the kill flag at their cooperative
+	// checkpoints instead.
+	start := time.Now()
+	fl := q.db.registerFlight(q.plan.key, q.effectiveExecutor(opts).String(), int64(q.plan.revision), obs.PhaseQueued)
+	if fl != nil {
+		defer q.db.deregisterFlight(fl)
+		if ctx != nil {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithCancel(ctx)
+			defer cancel()
+			fl.SetCancel(cancel)
+		}
+	}
+	rc := newRunControl(ctx, opts, fl)
 	// Entry checkpoint: an already-expired context fails deterministically
 	// before any work (or queueing) happens.
 	if err := rc.check(); err != nil {
-		q.db.failRun(q, opts, err, 0)
+		q.db.failRun(q, opts, fl, err, time.Since(start), 0)
 		return nil, err
 	}
 	// The admission gate (and its trace span) is taken only when a bound
@@ -801,17 +827,24 @@ func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
 		sp.Annotate("wait", wait.Round(time.Microsecond).String()).End()
 		admWait = wait
 		if err != nil {
-			q.db.failRun(q, opts, err, admWait)
+			// A kill during the queue wait surfaces as the context
+			// cancellation the flight's cancel fired; re-check the kill flag
+			// so the typed ErrKilled wins.
+			if kerr := fl.KillErr(); kerr != nil && errors.Is(err, ErrCanceled) {
+				err = kerr
+			}
+			q.db.failRun(q, opts, fl, err, time.Since(start), admWait)
 			return nil, err
 		}
 		defer release()
 	}
 
+	fl.SetPhase(obs.PhaseRunning)
 	sp := q.trace.Start("execute")
 	res, scanned, err := q.execute(rc, opts)
 	if err != nil {
 		sp.End()
-		q.db.failRun(q, opts, err, admWait)
+		q.db.failRun(q, opts, fl, err, time.Since(start), admWait)
 		return nil, err
 	}
 	res.planCached = q.planCached
@@ -823,7 +856,7 @@ func (q *Query) runMeasured(opts RunOptions) (*Result, error) {
 		Annotate("partition", cachedWord(res.partitionCached)).
 		Annotate("stats", res.Stats.String()).
 		End()
-	q.db.observeRun(q, opts, res, scanned, sp.Duration, admWait)
+	q.db.observeRun(q, opts, fl, res, scanned, sp.Duration, admWait)
 	return res, nil
 }
 
@@ -874,6 +907,7 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 		if err := rc.checkScanned(len(rows)); err != nil {
 			return nil, 0, err
 		}
+		rc.flightRef().TickRows(int64(len(rows)))
 		for ri, row := range rows {
 			if rc != nil && ri&1023 == 1023 {
 				if err := rc.check(); err != nil {
@@ -906,6 +940,7 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 	if err := rc.checkScanned(scanned); err != nil {
 		return nil, 0, err
 	}
+	rc.flightRef().SetClustersTotal(int64(len(clusters)))
 	res.partitionCached = cached
 	// Reuse the partition's memoized columnar projections (built on the
 	// first execution of this plan over it): warm runs skip the per-run
@@ -938,11 +973,12 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 	}
 	ex := q.newExecutor(opts, policy)
 	if rc != nil {
-		ex.SetInterrupt(rc.check)
+		ex.SetInterrupt(rc.interrupt())
 	}
 	if masks != nil {
 		ex.SetVectorized(true)
 	}
+	fl := rc.flightRef()
 	for ci, seq := range clusters {
 		if err := faultExecCluster.Fire(); err != nil {
 			return nil, 0, err
@@ -959,6 +995,11 @@ func (q *Query) execute(rc *runControl, opts RunOptions) (res *Result, scanned i
 		ms, stats := ex.FindAll(seq)
 		res.Stats.Add(stats)
 		res.clusterStats = append(res.clusterStats, ClusterStat{Cluster: ci, Rows: len(seq), Stats: stats})
+		if fl != nil {
+			fl.TickClusters(1)
+			fl.TickRows(int64(len(seq)))
+			fl.TickMatches(int64(stats.Matches))
+		}
 		if opts.Trace {
 			q.pathMu.Lock()
 			q.lastPath = append(q.lastPath, pathOf(ex)...)
@@ -1049,13 +1090,14 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 	// buffered channel here once meant a len(clusters)-int allocation per
 	// query) — and stop claiming as soon as any worker fails.
 	var next atomic.Int64
+	fl := rc.flightRef()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ex := q.newExecutor(opts, policy)
 			if rc != nil {
-				ex.SetInterrupt(rc.check)
+				ex.SetInterrupt(rc.interrupt())
 			}
 			if masks != nil {
 				ex.SetVectorized(true)
@@ -1068,6 +1110,10 @@ func (q *Query) runParallel(rc *runControl, res *Result, clusters [][]storage.Ro
 				out := searchCluster(ex, ci)
 				if out.err != nil {
 					failed.Store(true)
+				} else if fl != nil {
+					fl.TickClusters(1)
+					fl.TickRows(int64(len(clusters[ci])))
+					fl.TickMatches(int64(out.stats.Matches))
 				}
 				outs[ci] = out
 			}

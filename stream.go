@@ -70,6 +70,11 @@ type Stream struct {
 	entry   *obs.StmtStats
 	pushSeq uint64
 
+	// flight is the stream's active-query registration (nil with the
+	// recorder off). It stays registered for the stream's whole lifetime
+	// — open streams are in-flight work an operator can see and kill.
+	flight *obs.Flight
+
 	// lastCS/lastClu memoize the previous push's cluster: arrivals
 	// usually stay in one cluster for long runs, so comparing the
 	// cluster-by values against the previous row skips the key-string
@@ -103,6 +108,7 @@ func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*S
 	if compiled.Pattern == nil {
 		return nil, fmt.Errorf("sqlts: OpenStream requires a sequence pattern query")
 	}
+	fl := q.db.registerFlight(q.plan.key, "stream", int64(q.plan.revision), obs.PhaseStreaming)
 	st := &Stream{
 		q:        q,
 		opts:     opts,
@@ -110,7 +116,8 @@ func (q *Query) OpenStream(opts StreamOptions, sink func(storage.Row) error) (*S
 		tables:   q.plan.streamTabs(),
 		clusters: map[string]*clusterStream{},
 		entry:    q.db.stmts.Get(q.plan.key),
-		rc:       newRunControl(opts.Context, RunOptions{}),
+		flight:   fl,
+		rc:       newRunControl(opts.Context, RunOptions{}, fl),
 	}
 	for _, col := range compiled.SequenceBy {
 		i, _ := compiled.Schema.ColumnIndex(col)
@@ -193,6 +200,8 @@ func (st *Stream) Push(vals ...storage.Value) (err error) {
 
 	m := st.q.db.metrics
 	m.streamPushes.Inc()
+	st.flight.TickPushes(1)
+	st.flight.TickRows(1)
 	// Per-push latency is sampled 1 push in 16: pushes are ~µs-scale, so
 	// two clock reads on every one would be a measurable tax on the
 	// steady-state streaming path. Push and pruned-row *counts* are
@@ -267,7 +276,7 @@ func (st *Stream) newClusterStream() *clusterStream {
 		ReuseSpans: true,
 	}, func(m engine.Match) { st.emitMatch(cs, m) })
 	if st.rc != nil {
-		cs.s.SetInterrupt(st.rc.check)
+		cs.s.SetInterrupt(st.rc.interrupt())
 	}
 	if !st.opts.NoKernel {
 		cs.s.UseKernel(st.q.plan.kernel)
@@ -283,6 +292,7 @@ func (st *Stream) emitMatch(cs *clusterStream, m engine.Match) {
 	}
 	st.q.db.metrics.streamMatches.Inc()
 	st.entry.RecordPushMatch()
+	st.flight.TickMatches(1)
 	// Evaluate output expressions against the matcher's retained
 	// window (still covering the match during emission). References
 	// past the match end (e.g. a trailing X.next) resolve to NULL if
@@ -345,6 +355,8 @@ func (st *Stream) Close() (err error) {
 		st.q.db.metrics.streamClusters.Add(-int64(len(st.clusters)))
 		st.q.db.metrics.streamsOpen.Dec()
 		st.entry.StreamClosed()
+		st.q.db.deregisterFlight(st.flight)
+		st.q.db.emitStreamEvent(st, err)
 	}()
 	if st.failed != nil {
 		return st.failed
